@@ -1,0 +1,134 @@
+//! Union–find (disjoint sets) with union by rank and path compression.
+//!
+//! Substrate for [`crate::spanning_forest`]. Kept deliberately simple and
+//! sequential: the prefix-based spanning forest only unions inside the small
+//! accepted set of each round, so the union–find is never the bottleneck.
+
+/// A disjoint-set forest over elements `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "UnionFind: too many elements");
+        Self {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+            num_sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Unions the sets of `a` and `b`. Returns `true` if they were previously
+    /// different sets.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disjoint() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.same_set(0, 1));
+        assert!(uf.same_set(2, 2));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.num_sets(), 2);
+        assert!(!uf.union(0, 1), "already joined");
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.num_sets(), 1);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert!(uf.same_set(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+
+    #[test]
+    fn transitive_chains_compress() {
+        let n = 1_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n as u32 {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        // After find, every element points near the root.
+        let root = uf.find(0);
+        for i in 0..n as u32 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

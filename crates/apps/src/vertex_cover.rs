@@ -1,0 +1,118 @@
+//! 2-approximate vertex cover from a maximal matching.
+//!
+//! The endpoints of any maximal matching form a vertex cover at most twice
+//! the optimum — the textbook use of maximal matching as a subroutine. Using
+//! the deterministic greedy matching makes the cover deterministic too.
+
+use greedy_core::matching::prefix::prefix_matching;
+use greedy_core::mis::prefix::PrefixPolicy;
+use greedy_core::ordering::random_edge_permutation;
+use greedy_graph::edge_list::EdgeList;
+
+/// Returns the endpoints of `matching` (edge ids into `edges`) as a sorted
+/// vertex list — a vertex cover whenever the matching is maximal.
+pub fn vertex_cover_from_matching(edges: &EdgeList, matching: &[u32]) -> Vec<u32> {
+    let mut cover = Vec::with_capacity(2 * matching.len());
+    for &e in matching {
+        let edge = edges.edge(e as usize);
+        cover.push(edge.u);
+        cover.push(edge.v);
+    }
+    cover.sort_unstable();
+    cover.dedup();
+    cover
+}
+
+/// Computes a 2-approximate vertex cover of `edges` directly: greedy maximal
+/// matching under a seeded random edge order, then take the endpoints.
+pub fn approx_vertex_cover(edges: &EdgeList, seed: u64) -> Vec<u32> {
+    let pi = random_edge_permutation(edges.num_edges(), seed);
+    let matching = prefix_matching(edges, &pi, PrefixPolicy::default());
+    vertex_cover_from_matching(edges, &matching)
+}
+
+/// True if `cover` covers every edge of `edges`.
+pub fn is_vertex_cover(edges: &EdgeList, cover: &[u32]) -> bool {
+    let mut member = vec![false; edges.num_vertices()];
+    for &v in cover {
+        if v as usize >= edges.num_vertices() {
+            return false;
+        }
+        member[v as usize] = true;
+    }
+    edges
+        .edges()
+        .iter()
+        .all(|e| member[e.u as usize] || member[e.v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greedy_core::matching::sequential::sequential_matching;
+    use greedy_core::ordering::identity_permutation;
+    use greedy_graph::gen::random::random_edge_list;
+    use greedy_graph::gen::structured::{path_edge_list, star_edge_list};
+    use greedy_graph::EdgeList;
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let el = EdgeList::empty(5);
+        assert!(approx_vertex_cover(&el, 1).is_empty());
+        assert!(is_vertex_cover(&el, &[]));
+    }
+
+    #[test]
+    fn star_cover_is_small() {
+        let el = star_edge_list(20);
+        let cover = approx_vertex_cover(&el, 2);
+        assert!(is_vertex_cover(&el, &cover));
+        // Optimal cover is {center}; a matching-based cover has exactly 2.
+        assert_eq!(cover.len(), 2);
+        assert!(cover.contains(&0));
+    }
+
+    #[test]
+    fn path_cover_within_factor_two() {
+        let el = path_edge_list(11); // 10 edges, optimum cover = 5
+        let cover = approx_vertex_cover(&el, 3);
+        assert!(is_vertex_cover(&el, &cover));
+        assert!(cover.len() <= 10);
+    }
+
+    #[test]
+    fn cover_from_explicit_matching() {
+        let el = path_edge_list(5);
+        let mm = sequential_matching(&el, &identity_permutation(4));
+        let cover = vertex_cover_from_matching(&el, &mm);
+        assert!(is_vertex_cover(&el, &cover));
+        assert_eq!(cover.len(), 2 * mm.len());
+    }
+
+    #[test]
+    fn random_graph_cover_is_valid_and_at_most_twice_matching_bound() {
+        for seed in 0..4 {
+            let el = random_edge_list(300, 1_200, seed);
+            let cover = approx_vertex_cover(&el, seed + 9);
+            assert!(is_vertex_cover(&el, &cover), "seed {seed}");
+            // Any vertex cover is at least the size of any matching; ours is
+            // exactly twice a maximal matching, hence within factor 2 of the
+            // optimum.
+            assert_eq!(cover.len() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn is_vertex_cover_detects_uncovered_edges() {
+        let el = path_edge_list(4);
+        assert!(!is_vertex_cover(&el, &[0]));
+        assert!(is_vertex_cover(&el, &[1, 2]));
+        assert!(!is_vertex_cover(&el, &[9]));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let el = random_edge_list(200, 700, 5);
+        assert_eq!(approx_vertex_cover(&el, 1), approx_vertex_cover(&el, 1));
+    }
+}

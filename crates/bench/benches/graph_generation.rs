@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the graph substrate: the two paper
+//! generators, CSR construction, and line-graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use greedy_graph::csr::Graph;
+use greedy_graph::gen::random::random_edge_list;
+use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+use greedy_graph::line_graph::line_graph;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/generate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(500_000));
+    group.bench_function(BenchmarkId::from_parameter("random_n100k_m500k"), |b| {
+        b.iter(|| random_edge_list(black_box(100_000), black_box(500_000), 3))
+    });
+    group.bench_function(BenchmarkId::from_parameter("rmat_n131k_m500k"), |b| {
+        b.iter(|| rmat_edge_list(black_box(17), black_box(500_000), RmatParams::default(), 3))
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let edges = random_edge_list(100_000, 500_000, 5);
+    let mut group = c.benchmark_group("graph/csr_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.num_edges() as u64));
+    group.bench_function(BenchmarkId::from_parameter("from_edge_list"), |b| {
+        b.iter(|| Graph::from_edge_list(black_box(&edges)))
+    });
+    group.finish();
+}
+
+fn bench_line_graph(c: &mut Criterion) {
+    let edges = random_edge_list(20_000, 80_000, 9);
+    let mut group = c.benchmark_group("graph/line_graph");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.num_edges() as u64));
+    group.bench_function(BenchmarkId::from_parameter("n20k_m80k"), |b| {
+        b.iter(|| line_graph(black_box(&edges)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csr_build, bench_line_graph);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of every MIS implementation on the paper's two
+//! input families (scaled to benchmark-friendly sizes). One benchmark group
+//! per input; within a group the ids correspond to the algorithm variants so
+//! relative cost (sequential vs rounds vs prefix vs root-set vs Luby) can be
+//! read off directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use greedy_core::mis::luby::luby_mis;
+use greedy_core::mis::prefix::{prefix_mis, PrefixPolicy};
+use greedy_core::mis::rootset::rootset_mis;
+use greedy_core::mis::rounds::rounds_mis;
+use greedy_core::mis::sequential::sequential_mis;
+use greedy_core::ordering::random_permutation;
+use greedy_graph::csr::Graph;
+use greedy_graph::gen::random::random_graph;
+use greedy_graph::gen::rmat::rmat_graph;
+
+fn inputs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("random_n50k_m250k", random_graph(50_000, 250_000, 7)),
+        ("rmat_n65k_m250k", rmat_graph(16, 250_000, 7)),
+    ]
+}
+
+fn bench_mis(c: &mut Criterion) {
+    for (name, graph) in inputs() {
+        let pi = random_permutation(graph.num_vertices(), 11);
+        let mut group = c.benchmark_group(format!("mis/{name}"));
+        group.sample_size(10);
+
+        group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+            b.iter(|| sequential_mis(black_box(&graph), black_box(&pi)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("rounds_naive"), |b| {
+            b.iter(|| rounds_mis(black_box(&graph), black_box(&pi)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("prefix_2pct"), |b| {
+            b.iter(|| {
+                prefix_mis(
+                    black_box(&graph),
+                    black_box(&pi),
+                    PrefixPolicy::FractionOfInput(0.02),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("prefix_full"), |b| {
+            b.iter(|| {
+                prefix_mis(
+                    black_box(&graph),
+                    black_box(&pi),
+                    PrefixPolicy::FractionOfInput(1.0),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("rootset_linear"), |b| {
+            b.iter(|| rootset_mis(black_box(&graph), black_box(&pi)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("luby"), |b| {
+            b.iter(|| luby_mis(black_box(&graph), 13))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of every maximal-matching implementation on
+//! the paper's two input families (scaled down).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use greedy_core::matching::prefix::prefix_matching;
+use greedy_core::matching::rootset::rootset_matching;
+use greedy_core::matching::rounds::rounds_matching;
+use greedy_core::matching::sequential::sequential_matching;
+use greedy_core::mis::prefix::PrefixPolicy;
+use greedy_core::ordering::random_edge_permutation;
+use greedy_graph::edge_list::EdgeList;
+use greedy_graph::gen::random::random_edge_list;
+use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+
+fn inputs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        ("random_n50k_m250k", random_edge_list(50_000, 250_000, 7)),
+        (
+            "rmat_n65k_m250k",
+            rmat_edge_list(16, 250_000, RmatParams::default(), 7),
+        ),
+    ]
+}
+
+fn bench_mm(c: &mut Criterion) {
+    for (name, edges) in inputs() {
+        let pi = random_edge_permutation(edges.num_edges(), 11);
+        let mut group = c.benchmark_group(format!("mm/{name}"));
+        group.sample_size(10);
+
+        group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+            b.iter(|| sequential_matching(black_box(&edges), black_box(&pi)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("rounds_naive"), |b| {
+            b.iter(|| rounds_matching(black_box(&edges), black_box(&pi)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("prefix_2pct"), |b| {
+            b.iter(|| {
+                prefix_matching(
+                    black_box(&edges),
+                    black_box(&pi),
+                    PrefixPolicy::FractionOfInput(0.02),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("prefix_full"), |b| {
+            b.iter(|| {
+                prefix_matching(
+                    black_box(&edges),
+                    black_box(&pi),
+                    PrefixPolicy::FractionOfInput(1.0),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("rootset_linear"), |b| {
+            b.iter(|| rootset_matching(black_box(&edges), black_box(&pi)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mm);
+criterion_main!(benches);

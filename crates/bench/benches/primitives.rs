@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the parallel primitives substrate:
+//! prefix sums, packing, random permutations, and counting sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use greedy_prims::pack::{pack, par_pack};
+use greedy_prims::permutation::{par_random_permutation, random_permutation};
+use greedy_prims::scan::{exclusive_scan, par_exclusive_scan};
+use greedy_prims::sort::counting_sort_by_key;
+
+const N: usize = 1_000_000;
+
+fn bench_scan(c: &mut Criterion) {
+    let data: Vec<u64> = (0..N as u64).map(|i| i % 97).collect();
+    let mut group = c.benchmark_group("primitives/scan");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| exclusive_scan(black_box(&data)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("parallel"), |b| {
+        b.iter(|| par_exclusive_scan(black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let data: Vec<u64> = (0..N as u64).collect();
+    let flags: Vec<bool> = data.iter().map(|&x| x % 3 == 0).collect();
+    let mut group = c.benchmark_group("primitives/pack");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| pack(black_box(&data), black_box(&flags)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("parallel"), |b| {
+        b.iter(|| par_pack(black_box(&data), black_box(&flags)))
+    });
+    group.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/random_permutation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function(BenchmarkId::from_parameter("fisher_yates"), |b| {
+        b.iter(|| random_permutation(black_box(N), 5))
+    });
+    group.bench_function(BenchmarkId::from_parameter("parallel_sort_based"), |b| {
+        b.iter(|| par_random_permutation(black_box(N), 5))
+    });
+    group.finish();
+}
+
+fn bench_counting_sort(c: &mut Criterion) {
+    let keys: Vec<u32> = (0..N as u64).map(|i| (i * 2654435761 % 1024) as u32).collect();
+    let mut group = c.benchmark_group("primitives/counting_sort");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function(BenchmarkId::from_parameter("1024_buckets"), |b| {
+        b.iter(|| counting_sort_by_key(black_box(&keys), 1024, |&k| k))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_pack, bench_permutation, bench_counting_sort);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation A2 — where parallelism starts to pay off inside a prefix.
+//!
+//! The paper notes a bump in the running-time-vs-prefix-size curves where its
+//! implementation's inner loop switches from sequential to parallel execution
+//! (grain size 256). This ablation isolates that effect: for each prefix size
+//! in the transition region it measures the prefix-based MIS once inside a
+//! single-threaded rayon pool (all loop overhead, no parallelism) and once in
+//! the full pool, reporting the ratio. Below the crossover the single-thread
+//! run wins (scheduling overhead dominates the tiny prefixes); above it the
+//! parallel run wins.
+
+use greedy_bench::{print_csv_header, run_on_threads, secs, time_best_of, ExperimentGraph, HarnessConfig};
+use greedy_core::mis::prefix::{prefix_mis, PrefixPolicy};
+use greedy_core::ordering::random_permutation;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let input = ExperimentGraph::generate(cfg.kind, cfg.scale, cfg.seed);
+    let n = input.num_vertices();
+    let pi = random_permutation(n, cfg.seed.wrapping_add(1));
+    let max_threads = *cfg.threads.iter().max().unwrap_or(&1);
+
+    if !cfg.csv_only {
+        eprintln!(
+            "# Ablation A2 ({}) — sequential/parallel crossover inside prefixes: n = {}, m = {}, threads = {}",
+            input.kind.name(),
+            n,
+            input.num_edges(),
+            max_threads
+        );
+    }
+    print_csv_header(&[
+        "graph",
+        "prefix_size",
+        "one_thread_seconds",
+        "full_pool_seconds",
+        "parallel_speedup",
+    ]);
+
+    // Prefix sizes spanning the region where per-round parallel overhead
+    // matters: from well below a typical grain size to well above it.
+    for prefix_size in [16usize, 64, 256, 1_024, 4_096, 16_384, 65_536] {
+        let prefix_size = prefix_size.min(n.max(1));
+        let policy = PrefixPolicy::Fixed(prefix_size);
+        let one = run_on_threads(1, || {
+            time_best_of(cfg.reps, || prefix_mis(&input.graph, &pi, policy)).0
+        });
+        let full = run_on_threads(max_threads, || {
+            time_best_of(cfg.reps, || prefix_mis(&input.graph, &pi, policy)).0
+        });
+        println!(
+            "{},{},{:.6},{:.6},{:.3}",
+            input.kind.name(),
+            prefix_size,
+            secs(one),
+            secs(full),
+            secs(one) / secs(full).max(1e-12)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Experiment T1 — the theory check behind Theorem 3.5.
+//!
+//! Measures the dependence length (rounds of Algorithm 2) and the longest
+//! directed path of the priority DAG for growing input sizes, on random
+//! orders over several graph families. The paper's bound says the dependence
+//! length is O(log² n) w.h.p. for *any* graph; the complete graph shows why
+//! the longest path is the wrong measure (it is n − 1 while the dependence
+//! length stays 1), and the path graph is the adversarial-structure case.
+//!
+//! Usage: `dependence_length [--seed N] [--csv]` (graph/scale flags are
+//! ignored; the experiment runs its own size sweep).
+
+use greedy_bench::{print_csv_header, HarnessConfig};
+use greedy_core::analysis::{dependence_length, priority_dag_longest_path};
+use greedy_core::ordering::random_permutation;
+use greedy_graph::csr::Graph;
+use greedy_graph::gen::random::random_graph;
+use greedy_graph::gen::rmat::rmat_graph;
+use greedy_graph::gen::structured::{complete_graph, path_graph, star_graph};
+
+fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut out = vec![
+        ("random", random_graph(n, 5 * n, seed)),
+        ("rmat", rmat_graph((n.max(2) as f64).log2().ceil() as u32, 5 * n, seed)),
+        ("path", path_graph(n)),
+        ("star", star_graph(n)),
+    ];
+    // The complete graph is only feasible at small n; cap it.
+    if n <= 2_000 {
+        out.push(("complete", complete_graph(n)));
+    }
+    out
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    if !cfg.csv_only {
+        eprintln!("# Theorem 3.5 check — dependence length vs log²(n), seed = {}", cfg.seed);
+    }
+    print_csv_header(&[
+        "family",
+        "n",
+        "m",
+        "dependence_length",
+        "longest_dag_path",
+        "log2n_squared",
+    ]);
+
+    for &n in &[1_000usize, 4_000, 16_000, 64_000] {
+        for (name, graph) in families(n, cfg.seed) {
+            let pi = random_permutation(graph.num_vertices(), cfg.seed.wrapping_add(n as u64));
+            let dep = dependence_length(&graph, &pi);
+            let path = priority_dag_longest_path(&graph, &pi);
+            let log = (graph.num_vertices().max(2) as f64).log2();
+            println!(
+                "{},{},{},{},{},{:.1}",
+                name,
+                graph.num_vertices(),
+                graph.num_edges(),
+                dep,
+                path,
+                log * log
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Runs every experiment binary in sequence at the configured scale and
+//! writes each one's CSV to `results/<experiment>_<graph>.csv`.
+//!
+//! This is the one-command regeneration path for EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run --release -p greedy-bench --bin run_all -- --scale small
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use greedy_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let scale = match cfg.scale {
+        greedy_bench::Scale::Small => "small",
+        greedy_bench::Scale::Medium => "medium",
+        greedy_bench::Scale::Paper => "paper",
+    };
+    let out_dir = PathBuf::from("results");
+    fs::create_dir_all(&out_dir).expect("cannot create results/ directory");
+
+    // (binary, graphs to run it on)
+    let experiments: &[(&str, &[&str])] = &[
+        ("fig1_mis_prefix", &["random", "rmat"]),
+        ("fig2_mm_prefix", &["random", "rmat"]),
+        ("fig3_mis_threads", &["random", "rmat"]),
+        ("fig4_mm_threads", &["random", "rmat"]),
+        ("dependence_length", &["random"]),
+        ("ablation_mis_impls", &["random", "rmat"]),
+        ("ablation_grain_size", &["random"]),
+    ];
+
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    for (bin, graphs) in experiments {
+        for graph in *graphs {
+            let out_path = out_dir.join(format!("{bin}_{graph}.csv"));
+            eprintln!("== running {bin} --graph {graph} --scale {scale} -> {}", out_path.display());
+            let output = Command::new(exe_dir.join(bin))
+                .args(["--graph", graph, "--scale", scale, "--seed", &cfg.seed.to_string(), "--csv"])
+                .output()
+                .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+            if !output.status.success() {
+                eprintln!(
+                    "experiment {bin} ({graph}) failed:\n{}",
+                    String::from_utf8_lossy(&output.stderr)
+                );
+                std::process::exit(1);
+            }
+            fs::write(&out_path, &output.stdout)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
+        }
+    }
+    eprintln!("all experiments written to {}", out_dir.display());
+}

@@ -1,0 +1,375 @@
+//! # greedy-bench
+//!
+//! Shared harness for the experiment binaries that regenerate every figure of
+//! the SPAA 2012 paper (Figures 1–4) plus the theory check and ablations
+//! listed in `DESIGN.md`.
+//!
+//! The harness provides:
+//! * the two paper inputs at configurable scale ([`ExperimentGraph`]): the
+//!   sparse uniform random graph and the rMat graph;
+//! * command-line parsing shared by all binaries ([`HarnessConfig`]);
+//! * timing helpers ([`time_best_of`]) and thread-pool control
+//!   ([`run_on_threads`]);
+//! * CSV emission helpers so each binary prints both a human-readable table
+//!   and machine-readable rows.
+//!
+//! Scales: the paper uses n = 10⁷ / m = 5·10⁷ (random) and n = 2²⁴ /
+//! m = 5·10⁷ (rMat). Both axes of Figures 1 and 2 are normalized by the input
+//! size, so the curves keep their shape at smaller scales; the default
+//! `small` scale finishes in seconds on a laptop, `medium` in minutes, and
+//! `paper` reproduces the original sizes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+use greedy_graph::csr::Graph;
+use greedy_graph::edge_list::EdgeList;
+use greedy_graph::gen::random::random_edge_list;
+use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+
+/// Which of the paper's two inputs to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Sparse uniform random graph (paper: n = 10⁷, m = 5·10⁷).
+    Random,
+    /// R-MAT power-law graph (paper: n = 2²⁴, m = 5·10⁷).
+    Rmat,
+}
+
+impl GraphKind {
+    /// Parses `random` / `rmat`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "random" | "uniform" | "gnm" => Some(GraphKind::Random),
+            "rmat" | "r-mat" | "powerlaw" => Some(GraphKind::Rmat),
+            _ => None,
+        }
+    }
+
+    /// Short display name used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::Random => "random",
+            GraphKind::Rmat => "rmat",
+        }
+    }
+}
+
+/// Input scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// n = 10⁵, m = 5·10⁵ (random); n = 2¹⁷ (rMat). Seconds per experiment.
+    Small,
+    /// n = 10⁶, m = 5·10⁶ (random); n = 2²⁰ (rMat). Minutes per experiment.
+    Medium,
+    /// The paper's sizes: n = 10⁷, m = 5·10⁷ (random); n = 2²⁴ (rMat).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `paper`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" | "s" => Some(Scale::Small),
+            "medium" | "m" => Some(Scale::Medium),
+            "paper" | "full" | "large" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// `(n, m)` for the uniform random input at this scale.
+    pub fn random_size(self) -> (usize, usize) {
+        match self {
+            Scale::Small => (100_000, 500_000),
+            Scale::Medium => (1_000_000, 5_000_000),
+            Scale::Paper => (10_000_000, 50_000_000),
+        }
+    }
+
+    /// `(log2 n, m)` for the rMat input at this scale.
+    pub fn rmat_size(self) -> (u32, usize) {
+        match self {
+            Scale::Small => (17, 500_000),
+            Scale::Medium => (20, 5_000_000),
+            Scale::Paper => (24, 50_000_000),
+        }
+    }
+}
+
+/// A generated experiment input: the edge list (for matching experiments) and
+/// the CSR graph (for MIS experiments).
+pub struct ExperimentGraph {
+    /// Which generator produced it.
+    pub kind: GraphKind,
+    /// Scale it was generated at.
+    pub scale: Scale,
+    /// The canonical edge list (edge ids are indices).
+    pub edges: EdgeList,
+    /// The CSR form.
+    pub graph: Graph,
+}
+
+impl ExperimentGraph {
+    /// Generates the requested input. Deterministic in `seed`.
+    pub fn generate(kind: GraphKind, scale: Scale, seed: u64) -> Self {
+        let edges = match kind {
+            GraphKind::Random => {
+                let (n, m) = scale.random_size();
+                random_edge_list(n, m, seed)
+            }
+            GraphKind::Rmat => {
+                let (log_n, m) = scale.rmat_size();
+                rmat_edge_list(log_n, m, RmatParams::default(), seed)
+            }
+        };
+        let graph = Graph::from_edge_list(&edges);
+        Self {
+            kind,
+            scale,
+            edges,
+            graph,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.num_edges()
+    }
+}
+
+/// Common command-line options for the experiment binaries.
+///
+/// Recognized flags (all optional):
+/// `--graph random|rmat`, `--scale small|medium|paper`, `--seed <u64>`,
+/// `--threads <list>` (comma-separated), `--reps <k>`, `--csv` (CSV only).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Input graph kind.
+    pub kind: GraphKind,
+    /// Input scale.
+    pub scale: Scale,
+    /// Generator / permutation seed.
+    pub seed: u64,
+    /// Thread counts to sweep for the scaling experiments.
+    pub threads: Vec<usize>,
+    /// Repetitions per measurement (best time is reported).
+    pub reps: usize,
+    /// Suppress the human-readable table and print only CSV.
+    pub csv_only: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            kind: GraphKind::Random,
+            scale: Scale::Small,
+            seed: 42,
+            threads: default_thread_sweep(),
+            reps: 3,
+            csv_only: false,
+        }
+    }
+}
+
+/// The default thread sweep: powers of two up to the machine's logical CPUs.
+pub fn default_thread_sweep() -> Vec<usize> {
+    let max = num_cpus::get().max(1);
+    let mut t = 1;
+    let mut out = Vec::new();
+    while t < max {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(max);
+    out
+}
+
+impl HarnessConfig {
+    /// Parses the process arguments; unknown flags abort with a usage
+    /// message so typos never silently fall back to defaults.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (exposed for tests).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--graph" => {
+                    let v = take("--graph");
+                    cfg.kind = GraphKind::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown graph kind '{v}' (random|rmat)"));
+                }
+                "--scale" => {
+                    let v = take("--scale");
+                    cfg.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale '{v}' (small|medium|paper)"));
+                }
+                "--seed" => {
+                    let v = take("--seed");
+                    cfg.seed = v.parse().unwrap_or_else(|_| panic!("bad seed '{v}'"));
+                }
+                "--threads" => {
+                    let v = take("--threads");
+                    cfg.threads = v
+                        .split(',')
+                        .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("bad thread count '{t}'")))
+                        .collect();
+                }
+                "--reps" => {
+                    let v = take("--reps");
+                    cfg.reps = v.parse().unwrap_or_else(|_| panic!("bad reps '{v}'"));
+                }
+                "--csv" => cfg.csv_only = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --graph random|rmat --scale small|medium|paper --seed N \
+                         --threads 1,2,4 --reps K --csv"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}' (try --help)"),
+            }
+        }
+        assert!(cfg.reps >= 1, "--reps must be at least 1");
+        assert!(!cfg.threads.is_empty(), "--threads must list at least one count");
+        cfg
+    }
+}
+
+/// Runs `f` `reps` times and returns the best (minimum) wall-clock duration
+/// together with the result of the final run.
+pub fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(reps >= 1);
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed());
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+/// Runs `f` inside a dedicated rayon pool with `num_threads` worker threads.
+pub fn run_on_threads<T: Send>(num_threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(num_threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+/// The prefix-size fractions swept by the Figure 1/2 experiments (x-axis of
+/// the plots, as a fraction of the input size). Matches the paper's log-scale
+/// sweep from effectively-sequential to fully-parallel.
+pub fn prefix_fraction_sweep() -> Vec<f64> {
+    vec![
+        1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.2, 0.5, 1.0,
+    ]
+}
+
+/// Formats a duration as fractional seconds with microsecond resolution.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Prints a CSV header and returns a closure-friendly helper for emitting
+/// rows; kept trivial so binaries stay dependency-free beyond this crate.
+pub fn print_csv_header(columns: &[&str]) {
+    println!("{}", columns.join(","));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_kind_and_scale_parse() {
+        assert_eq!(GraphKind::parse("random"), Some(GraphKind::Random));
+        assert_eq!(GraphKind::parse("RMAT"), Some(GraphKind::Rmat));
+        assert_eq!(GraphKind::parse("bogus"), None);
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("x"), None);
+    }
+
+    #[test]
+    fn config_parses_flags() {
+        let cfg = HarnessConfig::parse(
+            [
+                "--graph", "rmat", "--scale", "small", "--seed", "7", "--threads", "1,2,4",
+                "--reps", "2", "--csv",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        assert_eq!(cfg.kind, GraphKind::Rmat);
+        assert_eq!(cfg.scale, Scale::Small);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, vec![1, 2, 4]);
+        assert_eq!(cfg.reps, 2);
+        assert!(cfg.csv_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn config_rejects_unknown_flag() {
+        HarnessConfig::parse(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn default_thread_sweep_is_sane() {
+        let sweep = default_thread_sweep();
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep[0].min(1), 1);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn experiment_graph_generates_both_kinds() {
+        let tiny_random = ExperimentGraph {
+            kind: GraphKind::Random,
+            scale: Scale::Small,
+            edges: random_edge_list(1_000, 4_000, 1),
+            graph: Graph::from_edge_list(&random_edge_list(1_000, 4_000, 1)),
+        };
+        assert_eq!(tiny_random.num_vertices(), 1_000);
+        assert_eq!(tiny_random.num_edges(), 4_000);
+    }
+
+    #[test]
+    fn time_best_of_returns_minimum() {
+        let (d, x) = time_best_of(3, || 42);
+        assert_eq!(x, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn run_on_threads_controls_pool_size() {
+        let inside = run_on_threads(2, rayon::current_num_threads);
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn prefix_sweep_is_sorted_and_in_range() {
+        let sweep = prefix_fraction_sweep();
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert!(sweep.iter().all(|&f| f > 0.0 && f <= 1.0));
+        assert_eq!(*sweep.last().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The prefix-based parallel greedy maximal matching.
+//!
+//! The edge-side analogue of Algorithm 3: each round takes the next prefix of
+//! edges in priority order, resolves it with parallel greedy steps (an edge
+//! is accepted once every earlier adjacent edge is decided), then knocks out
+//! the later edges that share an endpoint with the newly accepted ones.
+//! Smaller prefixes do less redundant work; larger prefixes expose more
+//! parallelism; the matching is identical to the sequential greedy one for
+//! every prefix size. This is the implementation benchmarked in Figure 2 and
+//! Figure 4 of the paper.
+
+use greedy_graph::edge_list::EdgeList;
+use greedy_prims::permutation::Permutation;
+use rayon::prelude::*;
+
+use crate::matching::{collect_in_edges, EdgeState};
+use crate::mis::prefix::PrefixPolicy;
+use crate::stats::WorkStats;
+
+/// Runs the prefix-based parallel greedy maximal matching. Returns the same
+/// matching as [`crate::matching::sequential::sequential_matching`], as
+/// sorted edge ids.
+pub fn prefix_matching(edges: &EdgeList, pi: &Permutation, policy: PrefixPolicy) -> Vec<u32> {
+    prefix_matching_with_stats(edges, pi, policy).0
+}
+
+/// Runs the prefix-based matching with counters: `rounds` = prefixes,
+/// `steps` = inner steps, `vertex_work` = edge examinations, `edge_work` =
+/// adjacency inspections.
+pub fn prefix_matching_with_stats(
+    edges: &EdgeList,
+    pi: &Permutation,
+    policy: PrefixPolicy,
+) -> (Vec<u32>, WorkStats) {
+    let m = edges.num_edges();
+    assert_eq!(
+        pi.len(),
+        m,
+        "prefix_matching: permutation covers {} elements but there are {} edges",
+        pi.len(),
+        m
+    );
+    let rank = pi.rank();
+    let order = pi.order();
+    let incidence = edges.incidence_lists();
+    // The "maximum degree" knob for the adaptive policy is the maximum number
+    // of edges adjacent to any single edge, bounded by twice the maximum
+    // vertex degree.
+    let max_edge_degree = 2 * edges.max_degree() as usize;
+
+    let mut state = vec![EdgeState::Undecided; m];
+    // A vertex is saturated once one of its edges is matched; saturation is
+    // what knocks later edges out lazily.
+    let mut vertex_matched = vec![false; edges.num_vertices()];
+    let mut stats = WorkStats::new();
+    let mut start = 0usize;
+
+    let adjacent = |e: u32| {
+        let edge = edges.edge(e as usize);
+        incidence[edge.u as usize]
+            .iter()
+            .chain(incidence[edge.v as usize].iter())
+            .copied()
+            .filter(move |&f| f != e)
+    };
+
+    while start < m {
+        let remaining = m - start;
+        let k = policy.prefix_size(m, remaining, max_edge_degree, stats.rounds);
+        let prefix = &order[start..start + k];
+        stats.rounds += 1;
+
+        // Lazy status update: an edge whose endpoint is already saturated is
+        // knocked out as it enters its prefix.
+        let mut active: Vec<u32> = prefix
+            .iter()
+            .copied()
+            .filter(|&e| {
+                if state[e as usize] != EdgeState::Undecided {
+                    return false;
+                }
+                let edge = edges.edge(e as usize);
+                if vertex_matched[edge.u as usize] || vertex_matched[edge.v as usize] {
+                    state[e as usize] = EdgeState::Out;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        // Work accounting (paper normalization): edges already decided when
+        // their prefix arrives are charged one examination here; the active
+        // ones are charged per inner step below, so prefix size 1 gives
+        // exactly m units of work like the sequential algorithm.
+        stats.vertex_work += (prefix.len() - active.len()) as u64;
+
+        // Parallel greedy steps within the prefix. Every earlier edge outside
+        // the prefix is already decided, so an active edge only waits on
+        // earlier edges inside the prefix.
+        while !active.is_empty() {
+            stats.steps += 1;
+            stats.vertex_work += active.len() as u64;
+
+            let decisions: Vec<EdgeState> = active
+                .par_iter()
+                .map(|&e| {
+                    let mut has_undecided_earlier = false;
+                    for f in adjacent(e) {
+                        if rank[f as usize] < rank[e as usize] {
+                            match state[f as usize] {
+                                EdgeState::In => return EdgeState::Out,
+                                EdgeState::Undecided => has_undecided_earlier = true,
+                                EdgeState::Out => {}
+                            }
+                        }
+                    }
+                    if has_undecided_earlier {
+                        EdgeState::Undecided
+                    } else {
+                        EdgeState::In
+                    }
+                })
+                .collect();
+            stats.edge_work += active
+                .par_iter()
+                .map(|&e| adjacent(e).count() as u64)
+                .sum::<u64>();
+
+            let mut next_active = Vec::with_capacity(active.len());
+            for (i, &e) in active.iter().enumerate() {
+                match decisions[i] {
+                    EdgeState::Undecided => next_active.push(e),
+                    s => state[e as usize] = s,
+                }
+            }
+            assert!(
+                next_active.len() < active.len(),
+                "prefix_matching: no progress within a prefix step"
+            );
+            active = next_active;
+        }
+
+        // Saturate the endpoints of the newly matched edges and knock out
+        // their still-undecided later neighbors.
+        let newly_in: Vec<u32> = prefix
+            .iter()
+            .copied()
+            .filter(|&e| state[e as usize] == EdgeState::In)
+            .collect();
+        for &e in &newly_in {
+            let edge = edges.edge(e as usize);
+            vertex_matched[edge.u as usize] = true;
+            vertex_matched[edge.v as usize] = true;
+        }
+        let knocked: Vec<u32> = newly_in
+            .par_iter()
+            .flat_map_iter(|&e| adjacent(e).filter(move |&f| rank[f as usize] > rank[e as usize]))
+            .collect();
+        stats.edge_work += newly_in
+            .par_iter()
+            .map(|&e| adjacent(e).count() as u64)
+            .sum::<u64>();
+        for f in knocked {
+            if state[f as usize] == EdgeState::Undecided {
+                state[f as usize] = EdgeState::Out;
+            }
+        }
+
+        start += k;
+    }
+
+    (collect_in_edges(&state), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::sequential::sequential_matching;
+    use crate::matching::verify::verify_maximal_matching;
+    use crate::ordering::{identity_permutation, random_edge_permutation};
+    use greedy_graph::gen::random::random_edge_list;
+    use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+    use greedy_graph::gen::structured::{
+        complete_edge_list, cycle_edge_list, grid_edge_list, path_edge_list, star_edge_list,
+    };
+    use greedy_graph::EdgeList;
+
+    fn policies() -> Vec<PrefixPolicy> {
+        vec![
+            PrefixPolicy::Fixed(1),
+            PrefixPolicy::Fixed(13),
+            PrefixPolicy::Fixed(500),
+            PrefixPolicy::FractionOfInput(0.01),
+            PrefixPolicy::FractionOfInput(1.0),
+            PrefixPolicy::FractionOfRemaining(0.3),
+            PrefixPolicy::Adaptive { c: 4.0 },
+            PrefixPolicy::default(),
+        ]
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let el = EdgeList::empty(4);
+        assert!(prefix_matching(&el, &identity_permutation(0), PrefixPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn every_policy_matches_sequential_on_random_graph() {
+        let el = random_edge_list(300, 1_200, 1);
+        let pi = random_edge_permutation(el.num_edges(), 2);
+        let expected = sequential_matching(&el, &pi);
+        for policy in policies() {
+            let mm = prefix_matching(&el, &pi, policy);
+            assert_eq!(mm, expected, "policy {policy:?} diverged from sequential");
+            assert!(verify_maximal_matching(&el, &mm));
+        }
+    }
+
+    #[test]
+    fn every_policy_matches_sequential_on_structured_graphs() {
+        let lists: Vec<(&str, EdgeList)> = vec![
+            ("path", path_edge_list(50)),
+            ("cycle", cycle_edge_list(44)),
+            ("star", star_edge_list(40)),
+            ("complete", complete_edge_list(14)),
+            ("grid", grid_edge_list(7, 8)),
+        ];
+        for (name, el) in lists {
+            let pi = random_edge_permutation(el.num_edges(), 8);
+            let expected = sequential_matching(&el, &pi);
+            for policy in policies() {
+                assert_eq!(
+                    prefix_matching(&el, &pi, policy),
+                    expected,
+                    "policy {policy:?} diverged on {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_rmat() {
+        let el = rmat_edge_list(9, 4_000, RmatParams::default(), 5);
+        let pi = random_edge_permutation(el.num_edges(), 6);
+        let expected = sequential_matching(&el, &pi);
+        for policy in [PrefixPolicy::Fixed(128), PrefixPolicy::FractionOfInput(0.05)] {
+            assert_eq!(prefix_matching(&el, &pi, policy), expected);
+        }
+    }
+
+    #[test]
+    fn prefix_size_one_is_sequential_round_count() {
+        let el = random_edge_list(200, 800, 3);
+        let pi = random_edge_permutation(el.num_edges(), 4);
+        let (_, stats) = prefix_matching_with_stats(&el, &pi, PrefixPolicy::Fixed(1));
+        assert_eq!(stats.rounds, el.num_edges() as u64);
+        assert_eq!(stats.vertex_work, el.num_edges() as u64);
+    }
+
+    #[test]
+    fn full_prefix_has_one_round_and_few_steps() {
+        let el = random_edge_list(600, 2_500, 5);
+        let pi = random_edge_permutation(el.num_edges(), 6);
+        let (_, stats) = prefix_matching_with_stats(&el, &pi, PrefixPolicy::FractionOfInput(1.0));
+        assert_eq!(stats.rounds, 1);
+        assert!(stats.steps < 60, "steps = {}", stats.steps);
+    }
+
+    #[test]
+    fn work_grows_and_rounds_shrink_with_prefix_size() {
+        let el = random_edge_list(1_000, 4_000, 7);
+        let pi = random_edge_permutation(el.num_edges(), 8);
+        let (_, small) = prefix_matching_with_stats(&el, &pi, PrefixPolicy::Fixed(16));
+        let (_, large) = prefix_matching_with_stats(&el, &pi, PrefixPolicy::Fixed(1_000));
+        assert!(small.rounds > large.rounds);
+        assert!(small.vertex_work <= large.vertex_work);
+    }
+}

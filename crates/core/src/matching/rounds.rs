@@ -1,0 +1,183 @@
+//! Algorithm 4: the parallel greedy maximal matching in synchronous rounds.
+//!
+//! Every round, the edges with no earlier *undecided* adjacent edge join the
+//! matching and knock out their neighbors. By the reduction to MIS on the
+//! line graph (Lemma 5.1), the number of rounds is the dependence length of
+//! the line graph under π, i.e. O(log² m) w.h.p. for a random edge order.
+//!
+//! Like [`crate::mis::rounds`], this is the clear-but-not-work-efficient
+//! formulation (each round touches every remaining edge); the linear-work
+//! versions are [`crate::matching::prefix`] and [`crate::matching::rootset`].
+
+use greedy_graph::edge_list::EdgeList;
+use greedy_prims::permutation::Permutation;
+use rayon::prelude::*;
+
+use crate::matching::{collect_in_edges, EdgeState};
+use crate::stats::WorkStats;
+
+/// Runs Algorithm 4; returns the same matching as the sequential greedy
+/// algorithm for π, as sorted edge ids.
+pub fn rounds_matching(edges: &EdgeList, pi: &Permutation) -> Vec<u32> {
+    rounds_matching_with_stats(edges, pi).0
+}
+
+/// Runs Algorithm 4 with counters; `stats.rounds` is the dependence length of
+/// the edge priority DAG.
+pub fn rounds_matching_with_stats(edges: &EdgeList, pi: &Permutation) -> (Vec<u32>, WorkStats) {
+    let m = edges.num_edges();
+    assert_eq!(
+        pi.len(),
+        m,
+        "rounds_matching: permutation covers {} elements but there are {} edges",
+        pi.len(),
+        m
+    );
+    let rank = pi.rank();
+    let incidence = edges.incidence_lists();
+    let mut state = vec![EdgeState::Undecided; m];
+    let mut remaining: Vec<u32> = (0..m as u32).collect();
+    let mut stats = WorkStats::new();
+
+    // Adjacent edge ids of `e` (edges sharing an endpoint), excluding `e`.
+    let adjacent = |e: u32| {
+        let edge = edges.edge(e as usize);
+        incidence[edge.u as usize]
+            .iter()
+            .chain(incidence[edge.v as usize].iter())
+            .copied()
+            .filter(move |&f| f != e)
+    };
+
+    while !remaining.is_empty() {
+        stats.rounds += 1;
+        stats.steps += 1;
+
+        // Phase 1: roots — undecided edges whose earlier adjacent edges are
+        // all decided Out.
+        let is_root: Vec<bool> = remaining
+            .par_iter()
+            .map(|&e| {
+                adjacent(e).all(|f| {
+                    rank[f as usize] > rank[e as usize] || state[f as usize] == EdgeState::Out
+                })
+            })
+            .collect();
+        let mut root_flags = vec![false; m];
+        for (i, &e) in remaining.iter().enumerate() {
+            root_flags[e as usize] = is_root[i];
+        }
+
+        // Phase 2: owner-computed state transition.
+        let new_states: Vec<EdgeState> = remaining
+            .par_iter()
+            .map(|&e| {
+                if root_flags[e as usize] {
+                    EdgeState::In
+                } else if adjacent(e).any(|f| root_flags[f as usize]) {
+                    EdgeState::Out
+                } else {
+                    EdgeState::Undecided
+                }
+            })
+            .collect();
+
+        stats.vertex_work += remaining.len() as u64;
+        stats.edge_work += remaining
+            .par_iter()
+            .map(|&e| adjacent(e).count() as u64)
+            .sum::<u64>();
+
+        let mut next_remaining = Vec::with_capacity(remaining.len());
+        for (i, &e) in remaining.iter().enumerate() {
+            match new_states[i] {
+                EdgeState::Undecided => next_remaining.push(e),
+                s => state[e as usize] = s,
+            }
+        }
+        assert!(
+            next_remaining.len() < remaining.len(),
+            "rounds_matching: no progress in a round"
+        );
+        remaining = next_remaining;
+    }
+
+    (collect_in_edges(&state), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::sequential::sequential_matching;
+    use crate::matching::verify::verify_maximal_matching;
+    use crate::ordering::{identity_permutation, random_edge_permutation};
+    use greedy_graph::gen::random::random_edge_list;
+    use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+    use greedy_graph::gen::structured::{
+        complete_edge_list, cycle_edge_list, path_edge_list, star_edge_list,
+    };
+    use greedy_graph::EdgeList;
+
+    #[test]
+    fn empty_edge_list() {
+        let el = EdgeList::empty(3);
+        assert!(rounds_matching(&el, &identity_permutation(0)).is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_on_structured_graphs() {
+        let lists: Vec<(&str, EdgeList)> = vec![
+            ("path", path_edge_list(40)),
+            ("cycle", cycle_edge_list(41)),
+            ("star", star_edge_list(30)),
+            ("complete", complete_edge_list(16)),
+        ];
+        for (name, el) in lists {
+            for seed in 0..3 {
+                let pi = random_edge_permutation(el.num_edges(), seed);
+                assert_eq!(
+                    rounds_matching(&el, &pi),
+                    sequential_matching(&el, &pi),
+                    "mismatch on {name} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..5 {
+            let el = random_edge_list(300, 1_200, seed);
+            let pi = random_edge_permutation(el.num_edges(), seed + 21);
+            let mm = rounds_matching(&el, &pi);
+            assert_eq!(mm, sequential_matching(&el, &pi), "seed {seed}");
+            assert!(verify_maximal_matching(&el, &mm));
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_rmat() {
+        let el = rmat_edge_list(9, 3_000, RmatParams::default(), 2);
+        let pi = random_edge_permutation(el.num_edges(), 3);
+        assert_eq!(rounds_matching(&el, &pi), sequential_matching(&el, &pi));
+    }
+
+    #[test]
+    fn star_needs_one_round() {
+        // All edges of a star conflict; the earliest one wins immediately and
+        // knocks every other edge out in the same round.
+        let el = star_edge_list(50);
+        let pi = random_edge_permutation(el.num_edges(), 4);
+        let (mm, stats) = rounds_matching_with_stats(&el, &pi);
+        assert_eq!(mm.len(), 1);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn dependence_length_small_for_random_orders() {
+        let el = random_edge_list(1_000, 5_000, 6);
+        let pi = random_edge_permutation(el.num_edges(), 7);
+        let (_, stats) = rounds_matching_with_stats(&el, &pi);
+        assert!(stats.rounds < 60, "rounds = {}", stats.rounds);
+    }
+}

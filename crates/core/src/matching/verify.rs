@@ -1,0 +1,95 @@
+//! Maximal matching verification.
+
+use greedy_graph::edge_list::EdgeList;
+use rayon::prelude::*;
+
+/// True if the edge ids in `matching` form a matching of `edges`: all ids are
+/// in range, no id repeats, and no two matched edges share an endpoint.
+pub fn verify_matching(edges: &EdgeList, matching: &[u32]) -> bool {
+    let m = edges.num_edges();
+    let mut seen_edge = vec![false; m];
+    let mut covered = vec![false; edges.num_vertices()];
+    for &e in matching {
+        if e as usize >= m || seen_edge[e as usize] {
+            return false;
+        }
+        seen_edge[e as usize] = true;
+        let edge = edges.edge(e as usize);
+        if covered[edge.u as usize] || covered[edge.v as usize] {
+            return false;
+        }
+        covered[edge.u as usize] = true;
+        covered[edge.v as usize] = true;
+    }
+    true
+}
+
+/// True if `matching` is maximal: every edge of the graph has at least one
+/// endpoint covered by the matching.
+pub fn verify_maximal(edges: &EdgeList, matching: &[u32]) -> bool {
+    let mut covered = vec![false; edges.num_vertices()];
+    for &e in matching {
+        if e as usize >= edges.num_edges() {
+            return false;
+        }
+        let edge = edges.edge(e as usize);
+        covered[edge.u as usize] = true;
+        covered[edge.v as usize] = true;
+    }
+    edges
+        .edges()
+        .par_iter()
+        .all(|e| covered[e.u as usize] || covered[e.v as usize])
+}
+
+/// True if `matching` is a **maximal matching** of `edges`.
+pub fn verify_maximal_matching(edges: &EdgeList, matching: &[u32]) -> bool {
+    verify_matching(edges, matching) && verify_maximal(edges, matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greedy_graph::gen::structured::{path_edge_list, star_edge_list};
+    use greedy_graph::EdgeList;
+
+    #[test]
+    fn empty_matching_on_empty_graph() {
+        let el = EdgeList::empty(3);
+        assert!(verify_maximal_matching(&el, &[]));
+    }
+
+    #[test]
+    fn empty_matching_on_nonempty_graph_is_not_maximal() {
+        let el = path_edge_list(3);
+        assert!(verify_matching(&el, &[]));
+        assert!(!verify_maximal(&el, &[]));
+    }
+
+    #[test]
+    fn path_graph_cases() {
+        // P5 edges: 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,4)
+        let el = path_edge_list(5);
+        assert!(verify_maximal_matching(&el, &[0, 2]));
+        assert!(verify_maximal_matching(&el, &[1, 3]));
+        assert!(verify_maximal_matching(&el, &[0, 3]));
+        assert!(!verify_matching(&el, &[0, 1])); // share vertex 1
+        assert!(!verify_maximal(&el, &[1])); // edge 3 uncovered
+        assert!(!verify_maximal_matching(&el, &[1]));
+    }
+
+    #[test]
+    fn star_single_edge_is_maximal() {
+        let el = star_edge_list(6);
+        assert!(verify_maximal_matching(&el, &[2]));
+        assert!(!verify_matching(&el, &[0, 1])); // both use the center
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_duplicates() {
+        let el = path_edge_list(4);
+        assert!(!verify_matching(&el, &[9]));
+        assert!(!verify_matching(&el, &[0, 0]));
+        assert!(!verify_maximal(&el, &[9]));
+    }
+}

@@ -1,0 +1,184 @@
+//! Luby's Algorithm A — the baseline the paper compares against.
+//!
+//! Each round, every remaining vertex draws a fresh random priority; a vertex
+//! joins the MIS if its priority beats all of its remaining neighbors', then
+//! MIS vertices and their neighbors leave the graph. Re-randomizing each
+//! round is exactly what distinguishes Luby's algorithm from Algorithm 2: the
+//! paper notes that if Algorithm 2 regenerated π every recursive call it
+//! *would be* Luby's Algorithm A. The price is that the result is not the
+//! lexicographically-first MIS of any fixed order, and — as the experiments
+//! in Section 6 show — the full-graph rounds do several times more work than
+//! the prefix-based algorithm.
+//!
+//! Priorities are drawn with a deterministic per-(round, vertex) hash, so for
+//! a fixed seed the algorithm returns the same MIS regardless of thread
+//! count.
+
+use greedy_graph::csr::Graph;
+use greedy_prims::random::hash64;
+use rayon::prelude::*;
+
+use crate::mis::{collect_in_vertices, VertexState};
+use crate::stats::WorkStats;
+
+/// Runs Luby's Algorithm A with deterministic per-round priorities derived
+/// from `seed`. Returns a valid MIS (generally *not* the sequential greedy
+/// one).
+pub fn luby_mis(graph: &Graph, seed: u64) -> Vec<u32> {
+    luby_mis_with_stats(graph, seed).0
+}
+
+/// Runs Luby's Algorithm A and reports work counters (`rounds` = number of
+/// synchronous rounds; `vertex_work`/`edge_work` = examinations, which are
+/// the quantities that make it lose to the prefix-based algorithm in
+/// Figure 3).
+pub fn luby_mis_with_stats(graph: &Graph, seed: u64) -> (Vec<u32>, WorkStats) {
+    let n = graph.num_vertices();
+    let mut state = vec![VertexState::Undecided; n];
+    let mut remaining: Vec<u32> = (0..n as u32).collect();
+    let mut stats = WorkStats::new();
+
+    while !remaining.is_empty() {
+        stats.rounds += 1;
+        stats.steps += 1;
+        let round_seed = hash64(seed, stats.rounds);
+
+        // Fresh priorities for the still-undecided vertices. Ties are broken
+        // by vertex id, so the round is a strict total order.
+        let priority = |v: u32| -> (u64, u32) { (hash64(round_seed, v as u64), v) };
+
+        // Phase 1: a vertex wins if it beats every undecided neighbor.
+        let winners: Vec<bool> = remaining
+            .par_iter()
+            .map(|&v| {
+                let pv = priority(v);
+                graph.neighbors(v).iter().all(|&w| {
+                    state[w as usize] != VertexState::Undecided || priority(w) > pv
+                })
+            })
+            .collect();
+        let mut winner_flags = vec![false; n];
+        for (i, &v) in remaining.iter().enumerate() {
+            winner_flags[v as usize] = winners[i];
+        }
+
+        // Phase 2: winners join, their neighbors leave.
+        let new_states: Vec<VertexState> = remaining
+            .par_iter()
+            .map(|&v| {
+                if winner_flags[v as usize] {
+                    VertexState::In
+                } else if graph.neighbors(v).iter().any(|&w| winner_flags[w as usize]) {
+                    VertexState::Out
+                } else {
+                    VertexState::Undecided
+                }
+            })
+            .collect();
+
+        stats.vertex_work += remaining.len() as u64;
+        stats.edge_work += 2 * remaining
+            .iter()
+            .map(|&v| graph.degree(v) as u64)
+            .sum::<u64>();
+
+        let mut next_remaining = Vec::with_capacity(remaining.len());
+        for (i, &v) in remaining.iter().enumerate() {
+            match new_states[i] {
+                VertexState::Undecided => next_remaining.push(v),
+                s => state[v as usize] = s,
+            }
+        }
+        assert!(
+            next_remaining.len() < remaining.len() || remaining.is_empty(),
+            "luby_mis: no progress in a round"
+        );
+        remaining = next_remaining;
+    }
+
+    (collect_in_vertices(&state), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::sequential::sequential_mis;
+    use crate::mis::verify::verify_mis;
+    use crate::ordering::random_permutation;
+    use greedy_graph::gen::random::random_graph;
+    use greedy_graph::gen::rmat::rmat_graph;
+    use greedy_graph::gen::structured::{complete_graph, path_graph, star_graph};
+    use greedy_graph::Graph;
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert!(luby_mis(&Graph::empty(0), 1).is_empty());
+        assert_eq!(luby_mis(&Graph::empty(5), 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn returns_valid_mis_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_graph(500, 2_000, seed);
+            let mis = luby_mis(&g, seed + 1);
+            assert!(verify_mis(&g, &mis), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn returns_valid_mis_on_structured_graphs() {
+        for g in [path_graph(50), star_graph(30), complete_graph(25), rmat_graph(9, 2_000, 1)] {
+            let mis = luby_mis(&g, 7);
+            assert!(verify_mis(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = random_graph(300, 1_200, 2);
+        assert_eq!(luby_mis(&g, 5), luby_mis(&g, 5));
+    }
+
+    #[test]
+    fn complete_graph_gives_single_vertex() {
+        let g = complete_graph(40);
+        assert_eq!(luby_mis(&g, 3).len(), 1);
+    }
+
+    #[test]
+    fn round_count_is_small() {
+        // Luby: O(log n) rounds w.h.p.
+        let g = random_graph(2_000, 10_000, 4);
+        let (_, stats) = luby_mis_with_stats(&g, 6);
+        assert!(stats.rounds < 40, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn generally_differs_from_sequential_greedy() {
+        // Not a guarantee on every input, but on a moderately sized random
+        // graph the probability that Luby's output coincides with the
+        // lexicographically-first MIS is negligible.
+        let g = random_graph(1_000, 5_000, 8);
+        let pi = random_permutation(1_000, 9);
+        let seq = sequential_mis(&g, &pi);
+        let luby = luby_mis(&g, 10);
+        assert_ne!(seq, luby);
+    }
+
+    #[test]
+    fn does_more_work_than_prefix_based() {
+        // The experimental observation behind Figure 3: Luby processes the
+        // whole remaining graph every round.
+        use crate::mis::prefix::{prefix_mis_with_stats, PrefixPolicy};
+        let g = random_graph(2_000, 10_000, 11);
+        let pi = random_permutation(2_000, 12);
+        let (_, luby) = luby_mis_with_stats(&g, 13);
+        let (_, prefix) = prefix_mis_with_stats(&g, &pi, PrefixPolicy::FractionOfInput(0.02));
+        assert!(
+            luby.total_work() > prefix.total_work(),
+            "luby {} should exceed prefix {}",
+            luby.total_work(),
+            prefix.total_work()
+        );
+    }
+}

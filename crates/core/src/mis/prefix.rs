@@ -1,0 +1,331 @@
+//! Algorithm 3: the prefix-based parallel greedy MIS.
+//!
+//! Instead of processing *all* remaining vertices each round (Algorithm 2),
+//! each round processes only a prefix of the remaining vertices in priority
+//! order, running the parallel greedy steps inside the prefix until it is
+//! fully decided. Smaller prefixes do less redundant work (a prefix of one
+//! vertex is exactly the sequential algorithm); larger prefixes expose more
+//! parallelism. Whatever the prefix size, the returned MIS is identical to
+//! the sequential one.
+//!
+//! This is the implementation the paper benchmarks (Section 6), using lazy
+//! status updates on the original vertex array: vertices knocked out by an
+//! earlier prefix are simply skipped when they come up in a later prefix.
+
+use greedy_graph::csr::Graph;
+use greedy_prims::permutation::Permutation;
+use rayon::prelude::*;
+
+use crate::mis::{collect_in_vertices, VertexState};
+use crate::stats::WorkStats;
+
+/// How the prefix size is chosen each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefixPolicy {
+    /// A fixed number of positions per round (the knob swept in Figures 1/2;
+    /// `Fixed(1)` degenerates to the sequential algorithm).
+    Fixed(usize),
+    /// A fixed fraction of the *input* size per round.
+    FractionOfInput(f64),
+    /// A fixed fraction of the *remaining* vertices per round (the δ of
+    /// Algorithm 3 in its literal form).
+    FractionOfRemaining(f64),
+    /// The analysis schedule of Corollary 3.2: in super-round `i` use a
+    /// prefix of `c · 2^i · ln(n) / Δ` vertices, doubling as the maximum
+    /// degree halves. `c` is the constant multiplier.
+    Adaptive {
+        /// Multiplier on the `2^i · ln(n)/Δ` schedule.
+        c: f64,
+    },
+}
+
+impl PrefixPolicy {
+    /// The prefix size to use when `remaining` vertices are left, given the
+    /// original input size `n` and the a-priori maximum degree `max_degree`.
+    pub fn prefix_size(&self, n: usize, remaining: usize, max_degree: usize, round: u64) -> usize {
+        let raw = match *self {
+            PrefixPolicy::Fixed(k) => k,
+            PrefixPolicy::FractionOfInput(f) => (f * n as f64).ceil() as usize,
+            PrefixPolicy::FractionOfRemaining(f) => (f * remaining as f64).ceil() as usize,
+            PrefixPolicy::Adaptive { c } => {
+                let delta = max_degree.max(1) as f64;
+                let ln_n = (n.max(2) as f64).ln();
+                let factor = 2f64.powi(round.min(62) as i32);
+                (c * factor * ln_n / delta).ceil() as usize
+            }
+        };
+        raw.clamp(1, remaining)
+    }
+}
+
+impl Default for PrefixPolicy {
+    /// A prefix of n/50 per round: large enough to parallelize well, small
+    /// enough to stay near the work-optimal region found in Figure 1(c).
+    fn default() -> Self {
+        PrefixPolicy::FractionOfInput(0.02)
+    }
+}
+
+/// Runs the prefix-based parallel greedy MIS (Algorithm 3). Returns the
+/// lexicographically-first MIS for π — the identical set to
+/// [`crate::mis::sequential::sequential_mis`] for every policy.
+pub fn prefix_mis(graph: &Graph, pi: &Permutation, policy: PrefixPolicy) -> Vec<u32> {
+    prefix_mis_with_stats(graph, pi, policy).0
+}
+
+/// Runs the prefix-based parallel greedy MIS and reports work counters:
+/// `rounds` = prefixes processed, `steps` = inner parallel steps summed over
+/// prefixes, `vertex_work` = vertex examinations (≥ n; equal to n at prefix
+/// size 1), `edge_work` = adjacency inspections.
+pub fn prefix_mis_with_stats(
+    graph: &Graph,
+    pi: &Permutation,
+    policy: PrefixPolicy,
+) -> (Vec<u32>, WorkStats) {
+    let n = graph.num_vertices();
+    assert_eq!(
+        pi.len(),
+        n,
+        "prefix_mis: permutation covers {} elements but the graph has {} vertices",
+        pi.len(),
+        n
+    );
+    let max_degree = graph.max_degree();
+    let rank = pi.rank();
+    let order = pi.order();
+
+    let mut state = vec![VertexState::Undecided; n];
+    let mut stats = WorkStats::new();
+    // `start` is the first position in π not yet covered by a prefix.
+    let mut start = 0usize;
+
+    while start < n {
+        let remaining = n - start;
+        let k = policy.prefix_size(n, remaining, max_degree, stats.rounds);
+        let prefix = &order[start..start + k];
+        stats.rounds += 1;
+
+        // Vertices of the prefix that are still undecided (lazy status
+        // updates: earlier prefixes may already have knocked some out).
+        let mut active: Vec<u32> = prefix
+            .iter()
+            .copied()
+            .filter(|&v| state[v as usize] == VertexState::Undecided)
+            .collect();
+        // Work accounting matches the paper's normalization: the sequential
+        // algorithm (prefix size 1) examines each vertex exactly once, so a
+        // vertex already decided when its prefix arrives is charged here and
+        // the still-active ones are charged per inner step below.
+        stats.vertex_work += (prefix.len() - active.len()) as u64;
+
+        // Run the parallel greedy steps (Algorithm 2) inside the prefix. All
+        // vertices earlier than the prefix are already decided, so a prefix
+        // vertex only ever waits on earlier vertices *inside* the prefix.
+        while !active.is_empty() {
+            stats.steps += 1;
+            stats.vertex_work += active.len() as u64;
+
+            let decisions: Vec<VertexState> = active
+                .par_iter()
+                .map(|&v| {
+                    let mut has_undecided_earlier = false;
+                    for &w in graph.neighbors(v) {
+                        if rank[w as usize] < rank[v as usize] {
+                            match state[w as usize] {
+                                VertexState::In => return VertexState::Out,
+                                VertexState::Undecided => has_undecided_earlier = true,
+                                VertexState::Out => {}
+                            }
+                        }
+                    }
+                    if has_undecided_earlier {
+                        VertexState::Undecided
+                    } else {
+                        VertexState::In
+                    }
+                })
+                .collect();
+            stats.edge_work += active.iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
+
+            let mut next_active = Vec::with_capacity(active.len());
+            for (i, &v) in active.iter().enumerate() {
+                match decisions[i] {
+                    VertexState::Undecided => next_active.push(v),
+                    s => state[v as usize] = s,
+                }
+            }
+            assert!(
+                next_active.len() < active.len(),
+                "prefix_mis: no progress within a prefix step"
+            );
+            active = next_active;
+        }
+
+        // Knock out the later neighbors of the vertices this prefix accepted.
+        // (Their own later prefixes will observe state Out lazily; marking
+        // them now keeps the inner loop's reads consistent.)
+        let newly_in: Vec<u32> = prefix
+            .iter()
+            .copied()
+            .filter(|&v| state[v as usize] == VertexState::In)
+            .collect();
+        let knocked: Vec<u32> = newly_in
+            .par_iter()
+            .flat_map_iter(|&v| {
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(move |&w| rank[w as usize] > rank[v as usize])
+            })
+            .collect();
+        stats.edge_work += newly_in.iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
+        for w in knocked {
+            if state[w as usize] == VertexState::Undecided {
+                state[w as usize] = VertexState::Out;
+            }
+        }
+
+        start += k;
+    }
+
+    (collect_in_vertices(&state), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::sequential::sequential_mis;
+    use crate::mis::verify::verify_mis;
+    use crate::ordering::{identity_permutation, random_permutation};
+    use greedy_graph::gen::random::random_graph;
+    use greedy_graph::gen::rmat::rmat_graph;
+    use greedy_graph::gen::structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+    use greedy_graph::Graph;
+
+    fn policies() -> Vec<PrefixPolicy> {
+        vec![
+            PrefixPolicy::Fixed(1),
+            PrefixPolicy::Fixed(7),
+            PrefixPolicy::Fixed(100),
+            PrefixPolicy::Fixed(usize::MAX / 2),
+            PrefixPolicy::FractionOfInput(0.01),
+            PrefixPolicy::FractionOfInput(1.0),
+            PrefixPolicy::FractionOfRemaining(0.25),
+            PrefixPolicy::Adaptive { c: 4.0 },
+            PrefixPolicy::default(),
+        ]
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert!(prefix_mis(&g, &identity_permutation(0), PrefixPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn every_policy_matches_sequential_on_random_graph() {
+        let g = random_graph(500, 2_000, 1);
+        let pi = random_permutation(500, 2);
+        let expected = sequential_mis(&g, &pi);
+        for policy in policies() {
+            let mis = prefix_mis(&g, &pi, policy);
+            assert_eq!(mis, expected, "policy {policy:?} diverged from sequential");
+            assert!(verify_mis(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn every_policy_matches_sequential_on_structured_graphs() {
+        let graphs: Vec<(&str, Graph)> = vec![
+            ("path", path_graph(60)),
+            ("cycle", cycle_graph(61)),
+            ("star", star_graph(50)),
+            ("complete", complete_graph(40)),
+            ("grid", grid_graph(8, 9)),
+        ];
+        for (name, g) in graphs {
+            let pi = random_permutation(g.num_vertices(), 11);
+            let expected = sequential_mis(&g, &pi);
+            for policy in policies() {
+                assert_eq!(
+                    prefix_mis(&g, &pi, policy),
+                    expected,
+                    "policy {policy:?} diverged on {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_rmat() {
+        let g = rmat_graph(10, 6_000, 3);
+        let pi = random_permutation(g.num_vertices(), 4);
+        let expected = sequential_mis(&g, &pi);
+        for policy in [PrefixPolicy::Fixed(64), PrefixPolicy::FractionOfInput(0.05)] {
+            assert_eq!(prefix_mis(&g, &pi, policy), expected);
+        }
+    }
+
+    #[test]
+    fn prefix_size_one_is_the_sequential_algorithm() {
+        let g = random_graph(300, 1_200, 5);
+        let pi = random_permutation(300, 6);
+        let (_, stats) = prefix_mis_with_stats(&g, &pi, PrefixPolicy::Fixed(1));
+        // One round per vertex and no redundant examinations: work equals the
+        // input size exactly, as for the sequential algorithm (Figure 1a's
+        // left endpoint).
+        assert_eq!(stats.rounds, 300);
+        assert_eq!(stats.vertex_work, 300);
+    }
+
+    #[test]
+    fn full_prefix_has_few_rounds() {
+        let g = random_graph(1_000, 4_000, 7);
+        let pi = random_permutation(1_000, 8);
+        let (_, stats) = prefix_mis_with_stats(&g, &pi, PrefixPolicy::FractionOfInput(1.0));
+        assert_eq!(stats.rounds, 1);
+        // The single round's inner steps equal the dependence length, which
+        // is small for random orders.
+        assert!(stats.steps < 60, "steps = {}", stats.steps);
+    }
+
+    #[test]
+    fn work_grows_and_rounds_shrink_with_prefix_size() {
+        // The monotone tradeoff behind Figures 1(a) and 1(b).
+        let g = random_graph(2_000, 8_000, 9);
+        let pi = random_permutation(2_000, 10);
+        let (_, small) = prefix_mis_with_stats(&g, &pi, PrefixPolicy::Fixed(16));
+        let (_, large) = prefix_mis_with_stats(&g, &pi, PrefixPolicy::Fixed(1_000));
+        assert!(small.rounds > large.rounds);
+        assert!(small.vertex_work <= large.vertex_work);
+    }
+
+    #[test]
+    fn policy_prefix_size_respects_bounds() {
+        for policy in policies() {
+            for remaining in [1usize, 5, 100, 10_000] {
+                let k = policy.prefix_size(10_000, remaining, 17, 3);
+                assert!(k >= 1 && k <= remaining, "policy {policy:?} gave k={k} for remaining={remaining}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_grows_with_round() {
+        let p = PrefixPolicy::Adaptive { c: 1.0 };
+        let a = p.prefix_size(1_000_000, 1_000_000, 1_000, 0);
+        let b = p.prefix_size(1_000_000, 1_000_000, 1_000, 12);
+        assert!(b > a, "adaptive prefix should double each super-round ({a} vs {b})");
+    }
+
+    #[test]
+    fn edgeless_graph_takes_everything_in_one_round_per_prefix() {
+        let g = Graph::empty(100);
+        let pi = identity_permutation(100);
+        let (mis, stats) = prefix_mis_with_stats(&g, &pi, PrefixPolicy::Fixed(10));
+        assert_eq!(mis.len(), 100);
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(stats.steps, 10);
+    }
+}

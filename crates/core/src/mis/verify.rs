@@ -1,0 +1,134 @@
+//! MIS verification.
+//!
+//! Checking a maximal independent set is much cheaper than computing one:
+//! independence is "no edge inside the set" and maximality is "every vertex
+//! outside the set has a neighbor inside". Every test and example in the
+//! workspace funnels through these checks.
+
+use greedy_graph::csr::Graph;
+use rayon::prelude::*;
+
+/// True if `set` (a sorted-or-unsorted list of vertex ids) is an independent
+/// set of `graph`: no two members are adjacent.
+pub fn verify_independent(graph: &Graph, set: &[u32]) -> bool {
+    let mut member = vec![false; graph.num_vertices()];
+    for &v in set {
+        if v as usize >= graph.num_vertices() {
+            return false;
+        }
+        member[v as usize] = true;
+    }
+    set.par_iter()
+        .all(|&v| graph.neighbors(v).iter().all(|&w| !member[w as usize]))
+}
+
+/// True if `set` is maximal: every vertex not in the set has a neighbor in
+/// the set.
+pub fn verify_maximal(graph: &Graph, set: &[u32]) -> bool {
+    let mut member = vec![false; graph.num_vertices()];
+    for &v in set {
+        if v as usize >= graph.num_vertices() {
+            return false;
+        }
+        member[v as usize] = true;
+    }
+    (0..graph.num_vertices() as u32)
+        .into_par_iter()
+        .all(|v| member[v as usize] || graph.neighbors(v).iter().any(|&w| member[w as usize]))
+}
+
+/// True if `set` is a maximal independent set of `graph`.
+pub fn verify_mis(graph: &Graph, set: &[u32]) -> bool {
+    verify_independent(graph, set) && verify_maximal(graph, set)
+}
+
+/// True if the two vertex (or edge-id) lists denote the same set.
+/// Order-insensitive; duplicate entries are rejected.
+pub fn verify_same_set(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    if a.windows(2).any(|w| w[0] == w[1]) || b.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greedy_graph::gen::structured::{complete_graph, path_graph, star_graph};
+    use greedy_graph::Graph;
+
+    #[test]
+    fn empty_set_on_empty_graph_is_mis() {
+        let g = Graph::empty(0);
+        assert!(verify_mis(&g, &[]));
+    }
+
+    #[test]
+    fn empty_set_on_nonempty_graph_is_not_maximal() {
+        let g = path_graph(3);
+        assert!(verify_independent(&g, &[]));
+        assert!(!verify_maximal(&g, &[]));
+        assert!(!verify_mis(&g, &[]));
+    }
+
+    #[test]
+    fn full_set_on_edgeless_graph_is_mis() {
+        let g = Graph::empty(4);
+        assert!(verify_mis(&g, &[0, 1, 2, 3]));
+        // A strict subset is independent but not maximal.
+        assert!(verify_independent(&g, &[1, 2]));
+        assert!(!verify_maximal(&g, &[1, 2]));
+    }
+
+    #[test]
+    fn path_graph_cases() {
+        let g = path_graph(4); // 0-1-2-3
+        assert!(verify_mis(&g, &[0, 2]));
+        assert!(verify_mis(&g, &[1, 3]));
+        assert!(verify_mis(&g, &[0, 3]));
+        assert!(!verify_mis(&g, &[0, 1])); // not independent
+        assert!(!verify_mis(&g, &[1])); // not maximal (3 uncovered)
+    }
+
+    #[test]
+    fn star_graph_cases() {
+        let g = star_graph(5);
+        assert!(verify_mis(&g, &[0]));
+        assert!(verify_mis(&g, &[1, 2, 3, 4]));
+        assert!(!verify_mis(&g, &[0, 1]));
+        assert!(!verify_mis(&g, &[1, 2]));
+    }
+
+    #[test]
+    fn complete_graph_cases() {
+        let g = complete_graph(5);
+        for v in 0..5u32 {
+            assert!(verify_mis(&g, &[v]));
+        }
+        assert!(!verify_mis(&g, &[0, 1]));
+        assert!(!verify_mis(&g, &[]));
+    }
+
+    #[test]
+    fn out_of_range_vertex_fails() {
+        let g = path_graph(3);
+        assert!(!verify_independent(&g, &[7]));
+        assert!(!verify_maximal(&g, &[7]));
+    }
+
+    #[test]
+    fn same_set_comparisons() {
+        assert!(verify_same_set(&[1, 2, 3], &[3, 2, 1]));
+        assert!(verify_same_set(&[], &[]));
+        assert!(!verify_same_set(&[1, 2], &[1, 2, 3]));
+        assert!(!verify_same_set(&[1, 1, 2], &[1, 2, 2]));
+        assert!(!verify_same_set(&[1, 2], &[1, 3]));
+    }
+}

@@ -1,0 +1,155 @@
+//! Erdős–Rényi G(n, p) graphs.
+//!
+//! Each of the n·(n-1)/2 possible edges is present independently with
+//! probability `p`. This is the model under which Coppersmith–Raghavan–Tompa
+//! and Calkin–Frieze analysed the greedy parallel MIS; we include it so the
+//! test suite and the dependence-length experiment can compare the
+//! general-graph bound (O(log² n)) against the random-graph setting the prior
+//! work covered.
+//!
+//! For small `p` the generator uses geometric skipping (the "G(n,p) in
+//! expected O(n+m) time" technique), so sparse graphs are generated in time
+//! proportional to their size rather than to n².
+
+use greedy_prims::random::SplitMix64;
+
+use crate::csr::Graph;
+use crate::edge_list::{Edge, EdgeList};
+
+/// Generates an Erdős–Rényi G(n, p) edge list. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn er_edge_list(n: usize, p: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p), "er_edge_list: p = {p} not in [0, 1]");
+    assert!(n <= u32::MAX as usize, "er_edge_list: n too large for u32 ids");
+    if n < 2 || p == 0.0 {
+        return EdgeList::empty(n);
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::new();
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        return EdgeList::new(n, edges);
+    }
+
+    // Geometric skipping over the linearized upper triangle.
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let log1mp = (1.0 - p).ln();
+    let mut idx: i128 = -1;
+    loop {
+        let r = rng.next_f64().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log1mp).floor() as i128 + 1;
+        idx += skip;
+        if idx as u128 >= total_pairs as u128 {
+            break;
+        }
+        let (u, v) = unrank_pair(idx as u64, n as u64);
+        edges.push(Edge::new(u as u32, v as u32));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Generates an Erdős–Rényi G(n, p) graph in CSR form.
+pub fn er_graph(n: usize, p: f64, seed: u64) -> Graph {
+    Graph::from_edge_list(&er_edge_list(n, p, seed))
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding pair `(u, v)`
+/// with `u < v`, enumerating pairs row by row: (0,1), (0,2), …, (0,n-1),
+/// (1,2), …
+fn unrank_pair(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+3)/2... solve incrementally to avoid
+    // floating-point edge cases: binary search the row.
+    let row_start = |u: u64| -> u64 { u * (2 * n - u - 1) / 2 };
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if row_start(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (idx - row_start(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrank_pair_enumerates_all_pairs() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = unrank_pair(idx, n);
+            assert!(u < v && v < n, "bad pair ({u}, {v}) at idx {idx}");
+            assert!(seen.insert((u, v)), "pair ({u}, {v}) repeated");
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        assert_eq!(er_edge_list(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(er_edge_list(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn p_half_has_roughly_half_the_edges() {
+        let n = 200;
+        let el = er_edge_list(n, 0.5, 3);
+        let expected = (n * (n - 1) / 2) as f64 * 0.5;
+        let m = el.num_edges() as f64;
+        assert!((m - expected).abs() < expected * 0.15, "m = {m}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn sparse_graph_has_expected_density() {
+        let n = 10_000;
+        let p = 0.001;
+        let el = er_edge_list(n, p, 5);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let m = el.num_edges() as f64;
+        assert!((m - expected).abs() < expected * 0.2, "m = {m}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(er_edge_list(100, 0.1, 9), er_edge_list(100, 0.1, 9));
+        assert_ne!(er_edge_list(100, 0.1, 9), er_edge_list(100, 0.1, 10));
+    }
+
+    #[test]
+    fn graph_is_valid() {
+        let g = er_graph(300, 0.05, 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edges_are_canonical_and_unique() {
+        let el = er_edge_list(500, 0.01, 4);
+        let canon = el.clone().canonicalize();
+        assert_eq!(el.num_edges(), canon.num_edges(), "generator must not emit duplicates");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn rejects_bad_probability() {
+        er_edge_list(10, 1.5, 0);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(er_edge_list(0, 0.5, 1).num_edges(), 0);
+        assert_eq!(er_edge_list(1, 0.5, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Uniform sparse random graphs G(n, m).
+//!
+//! The paper's first experimental input is "a sparse random graph with 10⁷
+//! vertices and 5·10⁷ edges": m endpoint pairs drawn uniformly at random.
+//! We draw pairs with a per-index hash stream (deterministic and parallel),
+//! drop self-loops and duplicates, and top up in further rounds until exactly
+//! `m` distinct edges exist (or the graph is complete).
+
+use greedy_prims::random::hash64;
+use rayon::prelude::*;
+
+use crate::csr::Graph;
+use crate::edge_list::{Edge, EdgeList};
+
+/// Generates a uniform random graph with `n` vertices and (up to) `m`
+/// distinct edges and returns it in CSR form.
+///
+/// The generator keeps sampling until `m` distinct non-loop edges have been
+/// produced, unless `m` exceeds the number of possible edges, in which case
+/// the complete graph is returned. Deterministic in `seed`.
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+    Graph::from_edge_list(&random_edge_list(n, m, seed))
+}
+
+/// Generates the edge list of a uniform random graph with `n` vertices and up
+/// to `m` distinct edges (see [`random_graph`]).
+pub fn random_edge_list(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n <= u32::MAX as usize, "random_edge_list: n too large for u32 ids");
+    if n < 2 || m == 0 {
+        return EdgeList::empty(n);
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+
+    let mut edges: Vec<Edge> = Vec::with_capacity(target);
+    let mut round: u64 = 0;
+    // Sample in rounds; each round draws what is still missing plus 10%
+    // headroom so that duplicate collisions rarely force another round.
+    while edges.len() < target {
+        let missing = target - edges.len();
+        let batch = missing + missing / 10 + 16;
+        let round_seed = hash64(seed, 0x5EED_0000 + round);
+        let mut new_edges: Vec<Edge> = (0..batch as u64)
+            .into_par_iter()
+            .filter_map(|i| {
+                let u = (hash64(round_seed, 2 * i) % n as u64) as u32;
+                let v = (hash64(round_seed, 2 * i + 1) % n as u64) as u32;
+                (u != v).then(|| Edge::new(u, v).canonical())
+            })
+            .collect();
+        edges.append(&mut new_edges);
+        edges.par_sort_unstable();
+        edges.dedup();
+        round += 1;
+        // For dense targets (close to the complete graph) rejection sampling
+        // stalls; switch to explicit enumeration of the missing edges.
+        if round > 64 {
+            let mut all: Vec<Edge> = (0..n as u32)
+                .flat_map(|u| ((u + 1)..n as u32).map(move |v| Edge::new(u, v)))
+                .collect();
+            // Keep a deterministic pseudo-random subset of size `target`.
+            all.sort_unstable_by_key(|e| hash64(seed, (e.u as u64) << 32 | e.v as u64));
+            all.truncate(target);
+            all.sort_unstable();
+            edges = all;
+            break;
+        }
+    }
+    edges.truncate(target);
+    edges.par_sort_unstable();
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_edge_count() {
+        let el = random_edge_list(1_000, 5_000, 1);
+        assert_eq!(el.num_edges(), 5_000);
+        assert!(el.is_canonical());
+        assert_eq!(el.num_vertices(), 1_000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(random_edge_list(500, 2_000, 7), random_edge_list(500, 2_000, 7));
+        assert_ne!(random_edge_list(500, 2_000, 7), random_edge_list(500, 2_000, 8));
+    }
+
+    #[test]
+    fn graph_is_valid() {
+        let g = random_graph(2_000, 10_000, 3);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_vertices(), 2_000);
+        assert_eq!(g.num_edges(), 10_000);
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        assert_eq!(random_edge_list(0, 10, 1).num_edges(), 0);
+        assert_eq!(random_edge_list(1, 10, 1).num_edges(), 0);
+        assert_eq!(random_edge_list(10, 0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn caps_at_complete_graph() {
+        // Request far more edges than possible: must return the complete graph.
+        let el = random_edge_list(10, 1_000, 5);
+        assert_eq!(el.num_edges(), 45);
+        let g = Graph::from_edge_list(&el);
+        for u in 0..10u32 {
+            for v in (u + 1)..10u32 {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_request_returns_exact_count() {
+        // 80% of the complete graph exercises the enumeration fallback path.
+        let max = 50 * 49 / 2;
+        let target = max * 4 / 5;
+        let el = random_edge_list(50, target, 11);
+        assert_eq!(el.num_edges(), target);
+        assert!(el.is_canonical());
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        // Average degree 2m/n = 10; no vertex should be wildly above it.
+        let g = random_graph(5_000, 25_000, 9);
+        let max_deg = g.max_degree();
+        assert!(max_deg < 60, "max degree {max_deg} suspiciously large for a uniform graph");
+    }
+}

@@ -1,0 +1,233 @@
+//! Structured graph families.
+//!
+//! These are the edge cases and adversarial inputs of the analysis:
+//!
+//! * the **complete graph** — the paper's example where the longest directed
+//!   path in the priority DAG is Ω(n) but the dependence length is O(1);
+//! * the **path graph** — maximal longest-path per edge, a stress test for
+//!   the dependence-length bound;
+//! * the **star graph** — extreme degree skew (Δ = n − 1);
+//! * plus cycles, 2-D grids, complete bipartite graphs, and random trees used
+//!   throughout the unit, property, and integration tests.
+
+use greedy_prims::random::hash64;
+
+use crate::csr::Graph;
+use crate::edge_list::{Edge, EdgeList};
+
+/// The complete graph K_n.
+pub fn complete_graph(n: usize) -> Graph {
+    Graph::from_edge_list(&complete_edge_list(n))
+}
+
+/// Edge list of the complete graph K_n.
+pub fn complete_edge_list(n: usize) -> EdgeList {
+    assert!(n <= u32::MAX as usize, "complete_edge_list: n too large");
+    let mut edges = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// The path graph P_n: edges (0,1), (1,2), …, (n−2, n−1).
+pub fn path_graph(n: usize) -> Graph {
+    Graph::from_edge_list(&path_edge_list(n))
+}
+
+/// Edge list of the path graph P_n.
+pub fn path_edge_list(n: usize) -> EdgeList {
+    let edges: Vec<Edge> = (1..n as u32).map(|v| Edge::new(v - 1, v)).collect();
+    EdgeList::new(n, edges)
+}
+
+/// The cycle graph C_n (requires n ≥ 3 to contain a cycle; smaller n gives a
+/// path or an edgeless graph).
+pub fn cycle_graph(n: usize) -> Graph {
+    Graph::from_edge_list(&cycle_edge_list(n))
+}
+
+/// Edge list of the cycle graph C_n.
+pub fn cycle_edge_list(n: usize) -> EdgeList {
+    if n < 3 {
+        return path_edge_list(n);
+    }
+    let mut edges: Vec<Edge> = (1..n as u32).map(|v| Edge::new(v - 1, v)).collect();
+    edges.push(Edge::new(n as u32 - 1, 0));
+    EdgeList::new(n, edges)
+}
+
+/// The star graph S_n: vertex 0 connected to vertices 1..n.
+pub fn star_graph(n: usize) -> Graph {
+    Graph::from_edge_list(&star_edge_list(n))
+}
+
+/// Edge list of the star graph S_n.
+pub fn star_edge_list(n: usize) -> EdgeList {
+    let edges: Vec<Edge> = (1..n as u32).map(|v| Edge::new(0, v)).collect();
+    EdgeList::new(n, edges)
+}
+
+/// The rows × cols 2-D grid graph with 4-neighbor connectivity.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    Graph::from_edge_list(&grid_edge_list(rows, cols))
+}
+
+/// Edge list of the rows × cols grid graph.
+pub fn grid_edge_list(rows: usize, cols: usize) -> EdgeList {
+    let n = rows * cols;
+    assert!(n <= u32::MAX as usize, "grid_edge_list: too many vertices");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// The complete bipartite graph K_{a,b}: parts {0..a} and {a..a+b}.
+pub fn complete_bipartite_graph(a: usize, b: usize) -> Graph {
+    let n = a + b;
+    assert!(n <= u32::MAX as usize, "complete_bipartite_graph: too many vertices");
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            edges.push(Edge::new(u, a as u32 + v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A uniform random tree on n vertices: each vertex v ≥ 1 attaches to a
+/// uniformly random earlier vertex. Deterministic in `seed`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n <= u32::MAX as usize, "random_tree: n too large");
+    let edges: Vec<Edge> = (1..n as u64)
+        .map(|v| {
+            let parent = hash64(seed, v) % v;
+            Edge::new(parent as u32, v as u32)
+        })
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        for n in [0usize, 1, 2, 5, 20] {
+            let g = complete_graph(n);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), n * n.saturating_sub(1) / 2);
+            if n > 0 {
+                assert_eq!(g.max_degree(), n - 1);
+            }
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = path_graph(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+        assert!(g.validate().is_ok());
+        assert_eq!(path_graph(0).num_edges(), 0);
+        assert_eq!(path_graph(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_graph_structure() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(5, 0));
+        // Degenerate sizes fall back to paths.
+        assert_eq!(cycle_graph(2).num_edges(), 1);
+        assert_eq!(cycle_graph(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_graph_structure() {
+        let g = star_graph(10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 9);
+        for v in 1..10u32 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    fn grid_graph_structure() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // 3 rows × 3 horizontal edges + 2 × 4 vertical edges = 9 + 8.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (row 1, col 1)
+        assert!(g.validate().is_ok());
+        assert_eq!(grid_graph(0, 5).num_vertices(), 0);
+        assert_eq!(grid_graph(1, 5).num_edges(), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite_graph(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        for u in 0..3u32 {
+            assert_eq!(g.degree(u), 4);
+            for v in 0..3u32 {
+                assert!(!g.has_edge(u, v));
+            }
+        }
+        for v in 3..7u32 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let n = 1_000;
+        let g = random_tree(n, 4);
+        assert_eq!(g.num_edges(), n - 1);
+        assert!(g.validate().is_ok());
+        // Connectivity check via BFS from 0.
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        assert_eq!(count, n, "tree must be connected");
+    }
+
+    #[test]
+    fn random_tree_deterministic() {
+        assert_eq!(random_tree(100, 1), random_tree(100, 1));
+        assert_ne!(random_tree(100, 1), random_tree(100, 2));
+    }
+}

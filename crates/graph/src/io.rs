@@ -1,0 +1,252 @@
+//! Graph text I/O.
+//!
+//! Two formats are supported:
+//!
+//! * The PBBS **AdjacencyGraph** format used by the paper's own benchmark
+//!   suite: a header line `AdjacencyGraph`, then `n`, then `m'` (number of
+//!   directed arcs), then `n` offsets, then `m'` neighbor ids, one value per
+//!   line.
+//! * A simple **edge list** format: `# n` on the first line followed by one
+//!   `u v` pair per line.
+//!
+//! Both readers validate structure and return descriptive errors instead of
+//! panicking, so malformed files surface as `Err` in the harness.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::csr::Graph;
+use crate::edge_list::EdgeList;
+
+/// Errors from reading graph files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file did not match the expected format.
+    Format(String),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Writes `graph` in the PBBS AdjacencyGraph format.
+pub fn write_adjacency_graph(graph: &Graph, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "AdjacencyGraph")?;
+    writeln!(w, "{}", graph.num_vertices())?;
+    writeln!(w, "{}", graph.num_arcs())?;
+    for v in 0..graph.num_vertices() {
+        writeln!(w, "{}", graph.offsets()[v])?;
+    }
+    for &nbr in graph.neighbor_array() {
+        writeln!(w, "{nbr}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph in the PBBS AdjacencyGraph format.
+pub fn read_adjacency_graph(path: &Path) -> Result<Graph, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut values = Vec::new();
+    let mut header_seen = false;
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            if t != "AdjacencyGraph" {
+                return Err(IoError::Format(format!(
+                    "expected 'AdjacencyGraph' header, found '{t}'"
+                )));
+            }
+            header_seen = true;
+            continue;
+        }
+        for tok in t.split_whitespace() {
+            let v: usize = tok
+                .parse()
+                .map_err(|_| IoError::Format(format!("non-numeric token '{tok}'")))?;
+            values.push(v);
+        }
+    }
+    if !header_seen {
+        return Err(IoError::Format("missing 'AdjacencyGraph' header".into()));
+    }
+    if values.len() < 2 {
+        return Err(IoError::Format("missing n and m".into()));
+    }
+    let n = values[0];
+    let m = values[1];
+    if values.len() != 2 + n + m {
+        return Err(IoError::Format(format!(
+            "expected {} values after header, found {}",
+            2 + n + m,
+            values.len()
+        )));
+    }
+    let mut offsets: Vec<usize> = values[2..2 + n].to_vec();
+    offsets.push(m);
+    let neighbors: Vec<u32> = values[2 + n..]
+        .iter()
+        .map(|&x| {
+            u32::try_from(x).map_err(|_| IoError::Format(format!("neighbor id {x} exceeds u32")))
+        })
+        .collect::<Result<_, _>>()?;
+    // Validate by rebuilding through the checked constructor; catch panics as
+    // format errors is not idiomatic, so re-check manually first.
+    let graph = Graph::from_raw_csr_checked(offsets, neighbors)
+        .map_err(|e| IoError::Format(format!("invalid CSR structure: {e}")))?;
+    Ok(graph)
+}
+
+/// Writes an edge list as `# n` followed by `u v` lines.
+pub fn write_edge_list(edges: &EdgeList, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# {}", edges.num_vertices())?;
+    for e in edges.edges() {
+        writeln!(w, "{} {}", e.u, e.v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an edge list written by [`write_edge_list`].
+pub fn read_edge_list(path: &Path) -> Result<EdgeList, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut n: Option<usize> = None;
+    let mut pairs = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            if n.is_none() {
+                n = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| IoError::Format(format!("bad vertex count '{rest}'")))?,
+                );
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| IoError::Format(format!("missing endpoint in '{t}'")))?
+            .parse()
+            .map_err(|_| IoError::Format(format!("bad endpoint in '{t}'")))?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| IoError::Format(format!("missing endpoint in '{t}'")))?
+            .parse()
+            .map_err(|_| IoError::Format(format!("bad endpoint in '{t}'")))?;
+        pairs.push((u, v));
+    }
+    let n = n.ok_or_else(|| IoError::Format("missing '# n' header line".into()))?;
+    for &(u, v) in &pairs {
+        if u as usize >= n || v as usize >= n {
+            return Err(IoError::Format(format!("edge ({u}, {v}) out of range for n={n}")));
+        }
+    }
+    Ok(EdgeList::from_pairs(n, pairs))
+}
+
+impl Graph {
+    /// Like [`Graph::from_raw_csr`] but returns an error instead of panicking.
+    pub fn from_raw_csr_checked(
+        offsets: Vec<usize>,
+        neighbors: Vec<u32>,
+    ) -> Result<Graph, crate::csr::GraphError> {
+        let g = Graph::from_parts_unchecked(offsets, neighbors);
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random::random_graph;
+    use crate::gen::structured::star_edge_list;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("greedy_graph_io_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn adjacency_graph_roundtrip() {
+        let g = random_graph(200, 800, 1);
+        let path = temp_path("adj.txt");
+        write_adjacency_graph(&g, &path).unwrap();
+        let g2 = read_adjacency_graph(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let el = star_edge_list(10).canonicalize();
+        let path = temp_path("edges.txt");
+        write_edge_list(&el, &path).unwrap();
+        let el2 = read_edge_list(&path).unwrap().canonicalize();
+        assert_eq!(el, el2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_adjacency_rejects_bad_header() {
+        let path = temp_path("bad_header.txt");
+        std::fs::write(&path, "NotAGraph\n3\n0\n").unwrap();
+        let err = read_adjacency_graph(&path).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_adjacency_rejects_wrong_count() {
+        let path = temp_path("bad_count.txt");
+        std::fs::write(&path, "AdjacencyGraph\n2\n2\n0\n1\n1\n").unwrap();
+        let err = read_adjacency_graph(&path).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_edge_list_rejects_out_of_range() {
+        let path = temp_path("bad_edge.txt");
+        std::fs::write(&path, "# 3\n0 5\n").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let err = read_adjacency_graph(Path::new("/nonexistent/definitely/missing.txt")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("i/o error"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Line graph construction.
+//!
+//! The line graph L(G) has one vertex per edge of G, with two vertices of
+//! L(G) adjacent iff the corresponding edges of G share an endpoint. The
+//! paper uses this reduction in two places:
+//!
+//! * Lemma 5.1 bounds the rounds of the greedy MM algorithm by observing that
+//!   it behaves exactly like greedy MIS on L(G);
+//! * it motivates *not* implementing MM that way in practice, since L(G) can
+//!   be asymptotically larger than G (Σ deg(v)² edges).
+//!
+//! We build L(G) explicitly anyway: it is the ideal test oracle (MM on G must
+//! equal MIS on L(G) under the same priorities), and it is used by the
+//! integration tests and by one ablation experiment.
+
+use rayon::prelude::*;
+
+use crate::csr::Graph;
+use crate::edge_list::{Edge, EdgeList};
+
+/// Builds the line graph of `edges`.
+///
+/// Vertex `i` of the result corresponds to edge `i` of the input list.
+/// The input should be canonical (no duplicates or self-loops); duplicate
+/// input edges would otherwise produce spurious adjacencies.
+pub fn line_graph(edges: &EdgeList) -> Graph {
+    let m = edges.num_edges();
+    assert!(m <= u32::MAX as usize, "line_graph: too many edges for u32 ids");
+    // Group edge ids by endpoint; all pairs within one group are adjacent in L(G).
+    let inc = edges.incidence_lists();
+    let line_edges: Vec<Edge> = inc
+        .par_iter()
+        .flat_map_iter(|ids| {
+            ids.iter()
+                .enumerate()
+                .flat_map(move |(i, &a)| ids[i + 1..].iter().map(move |&b| Edge::new(a, b)))
+        })
+        .collect();
+    Graph::from_edges(m, &line_edges)
+}
+
+/// The number of edges the line graph will have, without building it:
+/// Σ_v C(deg(v), 2), minus corrections for parallel pairs (none for simple
+/// graphs).
+pub fn line_graph_edge_count(edges: &EdgeList) -> usize {
+    edges
+        .degrees()
+        .into_iter()
+        .map(|d| (d as usize) * (d as usize).saturating_sub(1) / 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured::{path_edge_list, star_edge_list};
+
+    #[test]
+    fn line_graph_of_path() {
+        // P4 has 3 edges forming a path of length 2 in the line graph.
+        let el = path_edge_list(4);
+        let lg = line_graph(&el);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 2);
+        assert!(lg.has_edge(0, 1));
+        assert!(lg.has_edge(1, 2));
+        assert!(!lg.has_edge(0, 2));
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        // All edges of a star share the center, so L(S_n) = K_{n-1}.
+        let el = star_edge_list(6);
+        let lg = line_graph(&el);
+        assert_eq!(lg.num_vertices(), 5);
+        assert_eq!(lg.num_edges(), 10);
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let el = EdgeList::from_pairs(3, vec![(0, 1), (1, 2), (0, 2)]).canonicalize();
+        let lg = line_graph(&el);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 3);
+    }
+
+    #[test]
+    fn line_graph_empty() {
+        let el = EdgeList::empty(5);
+        let lg = line_graph(&el);
+        assert_eq!(lg.num_vertices(), 0);
+        assert_eq!(lg.num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_count_formula_matches_construction() {
+        for (n, edges) in [
+            (4usize, vec![(0u32, 1u32), (1, 2), (2, 3), (0, 3)]),
+            (6, vec![(0, 1), (0, 2), (0, 3), (1, 2), (4, 5)]),
+        ] {
+            let el = EdgeList::from_pairs(n, edges).canonicalize();
+            assert_eq!(line_graph(&el).num_edges(), line_graph_edge_count(&el));
+        }
+    }
+
+    #[test]
+    fn line_graph_is_valid() {
+        let el = crate::gen::random::random_edge_list(200, 600, 3);
+        let lg = line_graph(&el);
+        assert!(lg.validate().is_ok());
+        assert_eq!(lg.num_vertices(), el.num_edges());
+    }
+}

@@ -1,0 +1,160 @@
+//! Graph statistics used by the experiment harness and sanity checks:
+//! degree distributions, connected components, and a compact summary.
+
+use std::collections::VecDeque;
+
+use rayon::prelude::*;
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Average degree 2m/n (0 for an empty graph).
+    pub avg_degree: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated_vertices: usize,
+    /// Number of connected components.
+    pub num_components: usize,
+}
+
+/// Computes summary statistics for `graph`.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    GraphStats {
+        num_vertices: n,
+        num_edges: m,
+        max_degree: graph.max_degree(),
+        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        isolated_vertices: (0..n as u32)
+            .into_par_iter()
+            .filter(|&v| graph.degree(v) == 0)
+            .count(),
+        num_components: connected_components(graph).1,
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let max_d = graph.max_degree();
+    let mut hist = vec![0usize; max_d + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Labels connected components with BFS. Returns `(labels, count)`, where
+/// `labels[v]` is the component id of `v` (ids are dense, in order of first
+/// discovery by vertex id).
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut next_label = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next_label;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in graph.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next_label;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    (label, next_label as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random::random_graph;
+    use crate::gen::structured::{complete_graph, path_graph, star_graph};
+    use crate::Graph;
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = graph_stats(&Graph::empty(5));
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.isolated_vertices, 5);
+        assert_eq!(s.num_components, 5);
+    }
+
+    #[test]
+    fn stats_of_zero_vertex_graph() {
+        let s = graph_stats(&Graph::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_components, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let s = graph_stats(&complete_graph(6));
+        assert_eq!(s.num_edges, 15);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.isolated_vertices, 0);
+        assert!((s.avg_degree - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let hist = degree_histogram(&star_graph(5));
+        // 4 leaves of degree 1, one center of degree 4.
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        // Two paths: 0-1-2 and 3-4.
+        let g = Graph::from_edges(
+            6,
+            &[
+                crate::edge_list::Edge::new(0, 1),
+                crate::edge_list::Edge::new(1, 2),
+                crate::edge_list::Edge::new(3, 4),
+            ],
+        );
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn path_graph_is_one_component() {
+        let (_, count) = connected_components(&path_graph(100));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn random_graph_stats_consistent() {
+        let g = random_graph(1_000, 3_000, 2);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_edges, 3_000);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 1_000);
+        let total_degree: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        assert_eq!(total_degree, 2 * s.num_edges);
+    }
+}

@@ -1,0 +1,50 @@
+//! # greedy-prims
+//!
+//! Parallel primitives used throughout the `greedy-parallel` workspace.
+//!
+//! The SPAA 2012 paper ("Greedy Sequential Maximal Independent Set and Matching
+//! are Parallel on Average", Blelloch, Fineman, Shun) expresses its algorithms in
+//! the CRCW PRAM work–depth model, assuming standard primitives: prefix sums
+//! (scan), packing (filtering by flags), bucket/counting sorts, and random
+//! permutations. This crate provides shared-memory realizations of those
+//! primitives on top of [`rayon`], plus a few utilities (deterministic hashing,
+//! chunking helpers) used by the core algorithms and the benchmark harness.
+//!
+//! All primitives come in a sequential and a parallel flavor; the parallel
+//! flavors fall back to the sequential code below a grain size so that small
+//! inputs do not pay scheduling overhead. Every parallel primitive is
+//! deterministic: it returns exactly the same result as its sequential
+//! counterpart.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use greedy_prims::scan::exclusive_scan_in_place;
+//!
+//! let mut counts = vec![3u64, 1, 4, 1, 5];
+//! let total = exclusive_scan_in_place(&mut counts);
+//! assert_eq!(counts, vec![0, 3, 4, 8, 9]);
+//! assert_eq!(total, 14);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+pub mod pack;
+pub mod permutation;
+pub mod random;
+pub mod reduce;
+pub mod scan;
+pub mod sort;
+pub mod util;
+
+/// Convenient re-exports of the most commonly used primitives.
+pub mod prelude {
+    pub use crate::pack::{pack, pack_index};
+    pub use crate::permutation::{random_permutation, Permutation};
+    pub use crate::random::SplitMix64;
+    pub use crate::reduce::{par_max, par_min, par_sum};
+    pub use crate::scan::{exclusive_scan, exclusive_scan_in_place, inclusive_scan};
+    pub use crate::sort::counting_sort_by_key;
+    pub use crate::util::DEFAULT_GRAIN;
+}

@@ -1,0 +1,296 @@
+//! Random permutations of `0..n`.
+//!
+//! The paper's central object is a uniformly random total order π on vertices
+//! (for MIS) or edges (for MM). A [`Permutation`] stores both directions of
+//! the bijection: `order[k]` is the element in position `k` (the k-th highest
+//! priority), and `rank[v]` is the position of element `v`. The greedy
+//! algorithms only ever compare ranks, so `rank` is the array they index.
+//!
+//! Two constructions are provided:
+//! * [`random_permutation`] — sequential Fisher–Yates from a seeded ChaCha RNG.
+//! * [`par_random_permutation`] — parallel construction that sorts elements by
+//!   a per-index hash key (ties broken by index). For a fixed seed it is
+//!   deterministic and thread-count independent, and the resulting permutation
+//!   is (essentially) uniform: collisions in 64-bit keys are vanishingly rare
+//!   and resolved deterministically.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::random::hash64;
+
+/// A permutation of `0..n`, stored in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `order[k]` = the element placed at position `k` (position 0 = highest priority).
+    order: Vec<u32>,
+    /// `rank[v]` = the position of element `v` in the order.
+    rank: Vec<u32>,
+}
+
+impl Permutation {
+    /// Builds a permutation from the position-to-element map `order`.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<u32>) -> Self {
+        let n = order.len();
+        let mut rank = vec![u32::MAX; n];
+        for (pos, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < n,
+                "from_order: element {v} out of range for n={n}"
+            );
+            assert!(
+                rank[v as usize] == u32::MAX,
+                "from_order: element {v} appears twice"
+            );
+            rank[v as usize] = pos as u32;
+        }
+        Self { order, rank }
+    }
+
+    /// Builds a permutation from the element-to-position map `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is not a permutation of `0..rank.len()`.
+    pub fn from_rank(rank: Vec<u32>) -> Self {
+        let n = rank.len();
+        let mut order = vec![u32::MAX; n];
+        for (v, &pos) in rank.iter().enumerate() {
+            assert!(
+                (pos as usize) < n,
+                "from_rank: position {pos} out of range for n={n}"
+            );
+            assert!(
+                order[pos as usize] == u32::MAX,
+                "from_rank: position {pos} assigned twice"
+            );
+            order[pos as usize] = v as u32;
+        }
+        Self { order, rank }
+    }
+
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let order: Vec<u32> = (0..n as u32).collect();
+        Self {
+            rank: order.clone(),
+            order,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the permutation is over the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The element at position `pos` (0 = highest priority / earliest).
+    #[inline]
+    pub fn element_at(&self, pos: usize) -> u32 {
+        self.order[pos]
+    }
+
+    /// The position (priority rank; smaller = earlier) of element `v`.
+    #[inline]
+    pub fn rank_of(&self, v: u32) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Position-to-element view (`order`).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Element-to-position view (`rank`).
+    pub fn rank(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// Returns true if element `a` comes before (has higher priority than) `b`.
+    #[inline]
+    pub fn precedes(&self, a: u32, b: u32) -> bool {
+        self.rank[a as usize] < self.rank[b as usize]
+    }
+
+    /// The first `k` elements of the order — the "δ-prefix" of the paper when
+    /// `k = ⌈δ·n⌉`.
+    pub fn prefix(&self, k: usize) -> &[u32] {
+        &self.order[..k.min(self.order.len())]
+    }
+
+    /// The inverse permutation (swaps the roles of order and rank).
+    pub fn inverse(&self) -> Self {
+        Self {
+            order: self.rank.clone(),
+            rank: self.order.clone(),
+        }
+    }
+
+    /// Verifies the internal bijection invariant; used by tests and
+    /// debug assertions.
+    pub fn validate(&self) -> bool {
+        if self.order.len() != self.rank.len() {
+            return false;
+        }
+        self.order
+            .iter()
+            .enumerate()
+            .all(|(pos, &v)| (v as usize) < self.rank.len() && self.rank[v as usize] == pos as u32)
+    }
+}
+
+/// Uniformly random permutation of `0..n` via Fisher–Yates with a
+/// ChaCha8 RNG seeded by `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Permutation {
+    assert!(n <= u32::MAX as usize, "random_permutation: n too large for u32 ids");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    Permutation::from_order(order)
+}
+
+/// Deterministic parallel random permutation of `0..n`.
+///
+/// Each element is keyed with `hash64(seed, element)` and elements are sorted
+/// by `(key, element)`. The result is independent of the number of threads.
+pub fn par_random_permutation(n: usize, seed: u64) -> Permutation {
+    assert!(n <= u32::MAX as usize, "par_random_permutation: n too large for u32 ids");
+    let mut keyed: Vec<(u64, u32)> = (0..n as u32)
+        .into_par_iter()
+        .map(|v| (hash64(seed, v as u64), v))
+        .collect();
+    keyed.par_sort_unstable();
+    let order: Vec<u32> = keyed.into_par_iter().map(|(_, v)| v).collect();
+    Permutation::from_order(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(10);
+        assert!(p.validate());
+        for i in 0..10u32 {
+            assert_eq!(p.rank_of(i), i);
+            assert_eq!(p.element_at(i as usize), i);
+        }
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.validate());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn from_order_and_from_rank_agree() {
+        let order = vec![2u32, 0, 3, 1];
+        let p = Permutation::from_order(order.clone());
+        let q = Permutation::from_rank(p.rank().to_vec());
+        assert_eq!(p, q);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        let p = random_permutation(100, 5);
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn from_order_rejects_duplicates() {
+        Permutation::from_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_order_rejects_out_of_range() {
+        Permutation::from_order(vec![0, 5, 1]);
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let p = random_permutation(1000, 42);
+        assert!(p.validate());
+        let mut seen = vec![false; 1000];
+        for pos in 0..1000 {
+            seen[p.element_at(pos) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_permutation_deterministic_in_seed() {
+        assert_eq!(random_permutation(500, 7), random_permutation(500, 7));
+        assert_ne!(random_permutation(500, 7), random_permutation(500, 8));
+    }
+
+    #[test]
+    fn par_random_permutation_is_valid_and_deterministic() {
+        let a = par_random_permutation(10_000, 3);
+        let b = par_random_permutation(10_000, 3);
+        assert!(a.validate());
+        assert_eq!(a, b);
+        assert_ne!(a, par_random_permutation(10_000, 4));
+    }
+
+    #[test]
+    fn par_random_permutation_spreads_elements() {
+        // Sanity: the permutation should not be close to the identity.
+        let p = par_random_permutation(10_000, 9);
+        let fixed = (0..10_000u32).filter(|&v| p.rank_of(v) == v).count();
+        assert!(fixed < 50, "too many fixed points: {fixed}");
+    }
+
+    #[test]
+    fn prefix_returns_earliest_elements() {
+        let p = random_permutation(100, 1);
+        let pre = p.prefix(10);
+        assert_eq!(pre.len(), 10);
+        for (pos, &v) in pre.iter().enumerate() {
+            assert_eq!(p.rank_of(v) as usize, pos);
+        }
+        // Prefix longer than n is clamped.
+        assert_eq!(p.prefix(1000).len(), 100);
+    }
+
+    #[test]
+    fn precedes_is_consistent_with_ranks() {
+        let p = random_permutation(50, 2);
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                assert_eq!(p.precedes(a, b), p.rank_of(a) < p.rank_of(b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_permutation_valid(n in 0usize..2000, seed in any::<u64>()) {
+            let p = random_permutation(n, seed);
+            prop_assert!(p.validate());
+            prop_assert_eq!(p.len(), n);
+        }
+
+        #[test]
+        fn prop_par_permutation_valid(n in 0usize..5000, seed in any::<u64>()) {
+            let p = par_random_permutation(n, seed);
+            prop_assert!(p.validate());
+            prop_assert_eq!(p.len(), n);
+        }
+    }
+}

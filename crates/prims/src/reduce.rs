@@ -1,0 +1,167 @@
+//! Parallel reductions and histograms.
+//!
+//! Thin wrappers over rayon reductions with sequential fallbacks, plus a
+//! blocked histogram used when bucketing edges by endpoint (graph building)
+//! and when computing degree distributions for the experiment harness.
+
+use rayon::prelude::*;
+
+use crate::util::SEQUENTIAL_CUTOFF;
+
+/// Parallel sum of a slice of `u64`.
+pub fn par_sum(data: &[u64]) -> u64 {
+    if data.len() < SEQUENTIAL_CUTOFF {
+        data.iter().sum()
+    } else {
+        data.par_iter().sum()
+    }
+}
+
+/// Parallel maximum; `None` for an empty slice.
+pub fn par_max<T: Copy + Ord + Send + Sync>(data: &[T]) -> Option<T> {
+    if data.len() < SEQUENTIAL_CUTOFF {
+        data.iter().copied().max()
+    } else {
+        data.par_iter().copied().max()
+    }
+}
+
+/// Parallel minimum; `None` for an empty slice.
+pub fn par_min<T: Copy + Ord + Send + Sync>(data: &[T]) -> Option<T> {
+    if data.len() < SEQUENTIAL_CUTOFF {
+        data.iter().copied().min()
+    } else {
+        data.par_iter().copied().min()
+    }
+}
+
+/// Counts how many elements satisfy the predicate.
+pub fn par_count<T, F>(data: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if data.len() < SEQUENTIAL_CUTOFF {
+        data.iter().filter(|x| pred(x)).count()
+    } else {
+        data.par_iter().filter(|x| pred(x)).count()
+    }
+}
+
+/// Histogram of `keys` into `num_buckets` buckets.
+///
+/// Every key must be `< num_buckets`. Parallelized by accumulating per-block
+/// local histograms and summing them, so the result is deterministic.
+///
+/// ```
+/// use greedy_prims::reduce::histogram;
+/// assert_eq!(histogram(&[0, 2, 2, 1, 2], 3), vec![1, 1, 3]);
+/// ```
+pub fn histogram(keys: &[u32], num_buckets: usize) -> Vec<u64> {
+    if keys.len() < SEQUENTIAL_CUTOFF || num_buckets > keys.len() {
+        let mut counts = vec![0u64; num_buckets];
+        for &k in keys {
+            counts[k as usize] += 1;
+        }
+        return counts;
+    }
+    keys.par_chunks(SEQUENTIAL_CUTOFF)
+        .map(|chunk| {
+            let mut local = vec![0u64; num_buckets];
+            for &k in chunk {
+                local[k as usize] += 1;
+            }
+            local
+        })
+        .reduce(
+            || vec![0u64; num_buckets],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Index of a maximum element (first one on ties); `None` for empty input.
+pub fn argmax<T: Copy + Ord>(data: &[T]) -> Option<usize> {
+    let mut best: Option<(usize, T)> = None;
+    for (i, &x) in data.iter().enumerate() {
+        match best {
+            None => best = Some((i, x)),
+            Some((_, bx)) if x > bx => best = Some((i, x)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sum_small_and_large() {
+        assert_eq!(par_sum(&[]), 0);
+        assert_eq!(par_sum(&[1, 2, 3]), 6);
+        let big: Vec<u64> = (0..100_000).collect();
+        assert_eq!(par_sum(&big), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn max_min_empty() {
+        assert_eq!(par_max::<u64>(&[]), None);
+        assert_eq!(par_min::<u64>(&[]), None);
+    }
+
+    #[test]
+    fn max_min_large() {
+        let data: Vec<u64> = (0..50_000).map(|i| (i * 7919) % 65_536).collect();
+        assert_eq!(par_max(&data), data.iter().copied().max());
+        assert_eq!(par_min(&data), data.iter().copied().min());
+    }
+
+    #[test]
+    fn count_matches_filter() {
+        let data: Vec<u64> = (0..30_000).collect();
+        assert_eq!(par_count(&data, |&x| x % 5 == 0), 6000);
+    }
+
+    #[test]
+    fn histogram_small() {
+        assert_eq!(histogram(&[], 3), vec![0, 0, 0]);
+        assert_eq!(histogram(&[0, 0, 1], 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn histogram_large_matches_sequential() {
+        let keys: Vec<u32> = (0..100_000).map(|i| (i * 31 % 100) as u32).collect();
+        let mut expected = vec![0u64; 100];
+        for &k in &keys {
+            expected[k as usize] += 1;
+        }
+        assert_eq!(histogram(&keys, 100), expected);
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax::<u64>(&[]), None);
+        assert_eq!(argmax(&[3, 1, 4, 1, 5, 9, 2, 6]), Some(5));
+        assert_eq!(argmax(&[7, 7, 7]), Some(0), "first max wins on ties");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_total(keys in proptest::collection::vec(0u32..50, 0..3000)) {
+            let h = histogram(&keys, 50);
+            prop_assert_eq!(h.iter().sum::<u64>() as usize, keys.len());
+        }
+
+        #[test]
+        fn prop_sum_matches_iter(data in proptest::collection::vec(0u64..1_000_000, 0..3000)) {
+            prop_assert_eq!(par_sum(&data), data.iter().sum::<u64>());
+        }
+    }
+}

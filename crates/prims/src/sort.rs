@@ -1,0 +1,193 @@
+//! Sorting primitives: counting sort, bucket sort by key, and a parallel
+//! sort-by-key wrapper.
+//!
+//! The maximal-matching implementation keeps each vertex's incidence list
+//! sorted by edge priority (Section 5 of the paper: "we maintain for each
+//! vertex an array of its incident edges sorted by priority"); since the
+//! priorities are a random permutation of `0..m`, a counting/bucket sort does
+//! this in linear work, which is what Lemma 5.3 requires. Graph construction
+//! (edge list → CSR) also bucket-sorts edges by source vertex.
+
+use rayon::prelude::*;
+
+use crate::scan::exclusive_scan_in_place;
+use crate::util::SEQUENTIAL_CUTOFF;
+
+/// Stable counting sort of `items` by `key(item) ∈ 0..num_keys`.
+///
+/// Runs in `O(items.len() + num_keys)` time. Returns the sorted vector.
+///
+/// ```
+/// use greedy_prims::sort::counting_sort_by_key;
+/// let sorted = counting_sort_by_key(&[(2u32, 'a'), (0, 'b'), (2, 'c')], 3, |&(k, _)| k);
+/// assert_eq!(sorted, vec![(0, 'b'), (2, 'a'), (2, 'c')]);
+/// ```
+pub fn counting_sort_by_key<T, F>(items: &[T], num_keys: usize, key: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(&T) -> u32,
+{
+    let mut counts = vec![0usize; num_keys];
+    for item in items {
+        let k = key(item) as usize;
+        debug_assert!(k < num_keys, "counting_sort_by_key: key {k} >= num_keys {num_keys}");
+        counts[k] += 1;
+    }
+    exclusive_scan_in_place(&mut counts);
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    if items.is_empty() {
+        return out;
+    }
+    out.resize(items.len(), items[0]);
+    for item in items {
+        let k = key(item) as usize;
+        out[counts[k]] = *item;
+        counts[k] += 1;
+    }
+    out
+}
+
+/// Groups `items` into `num_buckets` buckets by `key`, preserving input order
+/// inside each bucket (stable). Returns `(bucketed_items, offsets)` where
+/// bucket `b` occupies `bucketed_items[offsets[b]..offsets[b+1]]`.
+///
+/// ```
+/// use greedy_prims::sort::bucket_by_key;
+/// let (items, offsets) = bucket_by_key(&[5u32, 11, 7, 12], 2, |&x| if x < 10 { 0 } else { 1 });
+/// assert_eq!(items, vec![5, 7, 11, 12]);
+/// assert_eq!(offsets, vec![0, 2, 4]);
+/// ```
+pub fn bucket_by_key<T, F>(items: &[T], num_buckets: usize, key: F) -> (Vec<T>, Vec<usize>)
+where
+    T: Copy,
+    F: Fn(&T) -> u32,
+{
+    let mut counts = vec![0usize; num_buckets + 1];
+    for item in items {
+        let k = key(item) as usize;
+        debug_assert!(k < num_buckets, "bucket_by_key: key {k} >= num_buckets {num_buckets}");
+        counts[k + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    if !items.is_empty() {
+        out.resize(items.len(), items[0]);
+        for item in items {
+            let k = key(item) as usize;
+            out[cursor[k]] = *item;
+            cursor[k] += 1;
+        }
+    }
+    (out, offsets)
+}
+
+/// Parallel stable sort of `items` by a `u64` key. For inputs below the
+/// sequential cutoff this is an ordinary stable sort. Deterministic.
+pub fn par_sort_by_key<T, F>(items: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync,
+{
+    if items.len() < SEQUENTIAL_CUTOFF {
+        items.sort_by_key(|x| key(x));
+    } else {
+        items.par_sort_by_key(|x| key(x));
+    }
+}
+
+/// Checks whether `items` is sorted according to `key` (non-decreasing).
+pub fn is_sorted_by_key<T, K: Ord, F: Fn(&T) -> K>(items: &[T], key: F) -> bool {
+    items.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counting_sort_empty() {
+        let out = counting_sort_by_key::<u32, _>(&[], 10, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn counting_sort_is_stable() {
+        // Pairs with equal keys must keep their relative order.
+        let items = vec![(1u32, 0usize), (0, 1), (1, 2), (0, 3), (1, 4)];
+        let out = counting_sort_by_key(&items, 2, |&(k, _)| k);
+        assert_eq!(out, vec![(0, 1), (0, 3), (1, 0), (1, 2), (1, 4)]);
+    }
+
+    #[test]
+    fn counting_sort_matches_std_sort() {
+        let items: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 997) as u32).collect();
+        let sorted = counting_sort_by_key(&items, 997, |&x| x);
+        let mut expected = items.clone();
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn bucket_by_key_offsets_consistent() {
+        let items: Vec<u32> = (0..1000).map(|i| (i * 7 % 50) as u32).collect();
+        let (bucketed, offsets) = bucket_by_key(&items, 50, |&x| x);
+        assert_eq!(offsets.len(), 51);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().unwrap(), items.len());
+        for b in 0..50u32 {
+            for &item in &bucketed[offsets[b as usize]..offsets[b as usize + 1]] {
+                assert_eq!(item % 50, b, "bucket contents keyed correctly");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_by_key_empty() {
+        let (items, offsets) = bucket_by_key::<u32, _>(&[], 4, |&x| x);
+        assert!(items.is_empty());
+        assert_eq!(offsets, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn par_sort_matches_sequential() {
+        let mut a: Vec<u64> = (0..60_000).map(|i| i * 2654435761 % 100_000).collect();
+        let mut b = a.clone();
+        a.sort();
+        par_sort_by_key(&mut b, |&x| x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        assert!(is_sorted_by_key(&[1, 2, 2, 3], |&x| x));
+        assert!(!is_sorted_by_key(&[3, 1], |&x| x));
+        assert!(is_sorted_by_key::<u32, _, _>(&[], |&x| x));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counting_sort_sorted_and_permutation(
+            items in proptest::collection::vec(0u32..200, 0..2000)
+        ) {
+            let sorted = counting_sort_by_key(&items, 200, |&x| x);
+            prop_assert!(is_sorted_by_key(&sorted, |&x| x));
+            let mut a = items.clone();
+            let mut b = sorted.clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_bucket_sizes_sum(items in proptest::collection::vec(0u32..32, 0..2000)) {
+            let (bucketed, offsets) = bucket_by_key(&items, 32, |&x| x);
+            prop_assert_eq!(bucketed.len(), items.len());
+            prop_assert_eq!(*offsets.last().unwrap(), items.len());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Maximal matching as a deterministic-reservations loop.
+//!
+//! The loop body for iterate `i` (the edge with priority rank `i`): if either
+//! endpoint is already matched, the edge is out. Otherwise it *reserves* both
+//! endpoints with its rank (a write-with-min), and at commit time it wins iff
+//! it still holds both reservations — i.e. it is the earliest live edge at
+//! both endpoints, exactly the condition under which the sequential greedy
+//! algorithm accepts it. Losers release nothing (cells are reset lazily per
+//! round by re-reservation) and retry. This is the `maximalMatching` plug-in
+//! of the PBBS deterministic-reservations benchmark.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use greedy_core::stats::WorkStats;
+use greedy_graph::edge_list::EdgeList;
+use greedy_prims::permutation::Permutation;
+
+use crate::reserve_cell::ReserveTable;
+use crate::speculative_for::{speculative_for, ReservationStep};
+
+struct MatchingStep<'a> {
+    edges: &'a EdgeList,
+    /// rank → edge id.
+    order: &'a [u32],
+    /// Per-vertex reservation cells holding the smallest competing edge rank.
+    reservations: ReserveTable,
+    vertex_matched: Vec<AtomicBool>,
+    in_matching: Vec<AtomicBool>,
+}
+
+impl MatchingStep<'_> {
+    fn endpoints(&self, i: usize) -> (usize, usize) {
+        let e = self.edges.edge(self.order[i] as usize);
+        (e.u as usize, e.v as usize)
+    }
+
+    fn dead(&self, i: usize) -> bool {
+        let (u, v) = self.endpoints(i);
+        self.vertex_matched[u].load(Ordering::SeqCst) || self.vertex_matched[v].load(Ordering::SeqCst)
+    }
+}
+
+impl ReservationStep for MatchingStep<'_> {
+    fn reserve(&self, i: usize) -> bool {
+        if self.dead(i) {
+            // Nothing to reserve; commit will record the edge as out.
+            return true;
+        }
+        let (u, v) = self.endpoints(i);
+        self.reservations.reserve(u, i as u64);
+        self.reservations.reserve(v, i as u64);
+        true
+    }
+
+    fn commit(&self, i: usize) -> bool {
+        let (u, v) = self.endpoints(i);
+        if self.dead(i) {
+            // Knocked out by an adjacent matched edge. Release any cell this
+            // edge still holds from its reserve phase, otherwise its (now
+            // irrelevant) rank would block later edges forever.
+            if self.reservations.holds(u, i as u64) {
+                self.reservations.reset(u);
+            }
+            if self.reservations.holds(v, i as u64) {
+                self.reservations.reset(v);
+            }
+            return true;
+        }
+        if self.reservations.holds(u, i as u64) && self.reservations.holds(v, i as u64) {
+            // Earliest live edge at both endpoints: matched, exactly as the
+            // sequential greedy algorithm would decide.
+            self.in_matching[self.order[i] as usize].store(true, Ordering::SeqCst);
+            self.vertex_matched[u].store(true, Ordering::SeqCst);
+            self.vertex_matched[v].store(true, Ordering::SeqCst);
+            // Release the cells so later rounds start clean.
+            self.reservations.reset(u);
+            self.reservations.reset(v);
+            true
+        } else {
+            // Lost at least one endpoint to an earlier edge; if that edge
+            // commits, `dead` will be true next round, otherwise we compete
+            // again. Reset our own claim where we still hold it so stale
+            // ranks do not linger.
+            if self.reservations.holds(u, i as u64) {
+                self.reservations.reset(u);
+            }
+            if self.reservations.holds(v, i as u64) {
+                self.reservations.reset(v);
+            }
+            false
+        }
+    }
+}
+
+/// Computes the greedy maximal matching with the deterministic reservations
+/// framework, processing `granularity` pending edges per round. Identical
+/// output to [`greedy_core::matching::sequential::sequential_matching`].
+pub fn reservation_matching_with_granularity(
+    edges: &EdgeList,
+    pi: &Permutation,
+    granularity: usize,
+) -> (Vec<u32>, WorkStats) {
+    let m = edges.num_edges();
+    assert_eq!(
+        pi.len(),
+        m,
+        "reservation_matching: permutation covers {} elements but there are {} edges",
+        pi.len(),
+        m
+    );
+    let step = MatchingStep {
+        edges,
+        order: pi.order(),
+        reservations: ReserveTable::new(edges.num_vertices()),
+        vertex_matched: (0..edges.num_vertices()).map(|_| AtomicBool::new(false)).collect(),
+        in_matching: (0..m).map(|_| AtomicBool::new(false)).collect(),
+    };
+    let stats = speculative_for(&step, m, granularity.max(1));
+    let matching = step
+        .in_matching
+        .iter()
+        .enumerate()
+        .filter_map(|(e, b)| b.load(Ordering::SeqCst).then_some(e as u32))
+        .collect();
+    (matching, stats)
+}
+
+/// [`reservation_matching_with_granularity`] with a default granularity of
+/// max(1024, m/50).
+pub fn reservation_matching(edges: &EdgeList, pi: &Permutation) -> Vec<u32> {
+    let m = edges.num_edges();
+    reservation_matching_with_granularity(edges, pi, (m / 50).max(1024)).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greedy_core::matching::sequential::sequential_matching;
+    use greedy_core::matching::verify::verify_maximal_matching;
+    use greedy_core::ordering::{identity_permutation, random_edge_permutation};
+    use greedy_graph::gen::random::random_edge_list;
+    use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+    use greedy_graph::gen::structured::{
+        complete_edge_list, cycle_edge_list, path_edge_list, star_edge_list,
+    };
+    use greedy_graph::EdgeList;
+
+    #[test]
+    fn empty_and_single_edge() {
+        let el = EdgeList::empty(3);
+        assert!(reservation_matching(&el, &identity_permutation(0)).is_empty());
+        let el = EdgeList::from_pairs(2, vec![(0, 1)]);
+        assert_eq!(reservation_matching(&el, &identity_permutation(1)), vec![0]);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs_across_granularities() {
+        for seed in 0..4 {
+            let el = random_edge_list(300, 1_200, seed);
+            let pi = random_edge_permutation(el.num_edges(), seed + 23);
+            let expected = sequential_matching(&el, &pi);
+            for granularity in [1usize, 29, 200, 2_000] {
+                let (mm, _) = reservation_matching_with_granularity(&el, &pi, granularity);
+                assert_eq!(mm, expected, "seed {seed} granularity {granularity}");
+                assert!(verify_maximal_matching(&el, &mm));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_structured_graphs() {
+        for el in [
+            path_edge_list(60),
+            cycle_edge_list(57),
+            star_edge_list(45),
+            complete_edge_list(18),
+            rmat_edge_list(9, 3_000, RmatParams::default(), 2),
+        ] {
+            let pi = random_edge_permutation(el.num_edges(), 5);
+            assert_eq!(reservation_matching(&el, &pi), sequential_matching(&el, &pi));
+        }
+    }
+
+    #[test]
+    fn identity_order_also_matches() {
+        let el = random_edge_list(200, 800, 9);
+        let pi = identity_permutation(el.num_edges());
+        assert_eq!(reservation_matching(&el, &pi), sequential_matching(&el, &pi));
+    }
+
+    #[test]
+    fn granularity_one_behaves_sequentially() {
+        let el = random_edge_list(100, 400, 3);
+        let pi = random_edge_permutation(el.num_edges(), 4);
+        let (_, stats) = reservation_matching_with_granularity(&el, &pi, 1);
+        assert_eq!(stats.rounds, 400);
+        assert_eq!(stats.vertex_work, 400);
+    }
+}

@@ -1,0 +1,49 @@
+//! Graph coloring by iterated deterministic MIS.
+//!
+//! Register allocation, frequency assignment, and parallel Gauss–Seidel
+//! sweeps all reduce to coloring a conflict graph. Iterated MIS gives a
+//! (Δ+1)-bounded coloring, and because every layer is the deterministic
+//! prefix-based greedy MIS, the colors are reproducible run to run.
+//!
+//! Run with: `cargo run --release --example graph_coloring`
+
+use greedy_parallel::prelude::*;
+
+fn main() {
+    // Color the paper's two input families (scaled down) plus a structured
+    // graph with a known chromatic number as a sanity anchor.
+    let inputs: Vec<(&str, Graph)> = vec![
+        ("uniform random (n=50k, m=250k)", random_graph(50_000, 250_000, 3)),
+        ("rMat power-law (n=2^16, m=250k)", rmat_graph(16, 250_000, 3)),
+        ("2-D grid 200x200 (2-colorable)", grid_graph(200, 200)),
+    ];
+
+    for (name, graph) in inputs {
+        let t = std::time::Instant::now();
+        let coloring = greedy_coloring(&graph, 11);
+        let elapsed = t.elapsed();
+        assert!(coloring.is_proper(&graph), "coloring of {name} must be proper");
+
+        let sizes = coloring.class_sizes();
+        println!("{name}");
+        println!(
+            "  {} vertices, {} edges, max degree {}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            graph.max_degree()
+        );
+        println!(
+            "  colors used: {} (Δ+1 bound: {}), computed in {elapsed:?}",
+            coloring.num_colors,
+            graph.max_degree() + 1
+        );
+        println!(
+            "  largest color class: {} vertices, smallest: {} vertices",
+            sizes.iter().max().unwrap(),
+            sizes.iter().min().unwrap()
+        );
+        println!();
+    }
+
+    println!("every run with the same seed reproduces the identical coloring.");
+}

@@ -1,0 +1,89 @@
+//! Integration tests: results are independent of the rayon pool size — the
+//! "internally deterministic" property the paper emphasizes — for MIS, MM,
+//! and the applications built on them.
+
+use greedy_parallel::prelude::*;
+
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[test]
+fn mis_is_thread_count_independent() {
+    let graph = random_graph(3_000, 15_000, 1);
+    let pi = random_permutation(graph.num_vertices(), 2);
+    let reference = in_pool(1, || prefix_mis(&graph, &pi, PrefixPolicy::default()));
+    for threads in [2, 3, 4, 8] {
+        let result = in_pool(threads, || prefix_mis(&graph, &pi, PrefixPolicy::default()));
+        assert_eq!(result, reference, "MIS changed with {threads} threads");
+        let rooted = in_pool(threads, || rootset_mis(&graph, &pi));
+        assert_eq!(rooted, reference, "root-set MIS changed with {threads} threads");
+    }
+}
+
+#[test]
+fn matching_is_thread_count_independent() {
+    let edges = random_graph(2_000, 8_000, 3).to_edge_list();
+    let pi = random_edge_permutation(edges.num_edges(), 4);
+    let reference = in_pool(1, || prefix_matching(&edges, &pi, PrefixPolicy::default()));
+    for threads in [2, 4, 8] {
+        let result = in_pool(threads, || prefix_matching(&edges, &pi, PrefixPolicy::default()));
+        assert_eq!(result, reference, "matching changed with {threads} threads");
+        let rooted = in_pool(threads, || rootset_matching(&edges, &pi));
+        assert_eq!(rooted, reference, "root-set matching changed with {threads} threads");
+    }
+}
+
+#[test]
+fn luby_with_fixed_seed_is_thread_count_independent() {
+    // Luby re-randomizes per round, but our per-(round, vertex) hashing makes
+    // it deterministic for a fixed seed regardless of schedule.
+    let graph = random_graph(2_000, 8_000, 5);
+    let reference = in_pool(1, || luby_mis(&graph, 6));
+    for threads in [2, 4] {
+        assert_eq!(in_pool(threads, || luby_mis(&graph, 6)), reference);
+    }
+}
+
+#[test]
+fn coloring_and_schedule_are_thread_count_independent() {
+    let graph = random_graph(1_500, 6_000, 7);
+    let coloring_ref = in_pool(1, || greedy_coloring(&graph, 8));
+    let schedule_ref = in_pool(1, || schedule_tasks(&graph, 9));
+    for threads in [2, 4] {
+        assert_eq!(in_pool(threads, || greedy_coloring(&graph, 8)), coloring_ref);
+        assert_eq!(in_pool(threads, || schedule_tasks(&graph, 9)), schedule_ref);
+    }
+}
+
+#[test]
+fn generators_are_thread_count_independent() {
+    let a = in_pool(1, || random_graph(5_000, 20_000, 11));
+    let b = in_pool(4, || random_graph(5_000, 20_000, 11));
+    assert_eq!(a, b, "uniform generator must not depend on thread count");
+    let a = in_pool(1, || rmat_graph(12, 20_000, 11));
+    let b = in_pool(4, || rmat_graph(12, 20_000, 11));
+    assert_eq!(a, b, "rMat generator must not depend on thread count");
+    let a = in_pool(1, || random_permutation(10_000, 3));
+    let b = in_pool(4, || random_permutation(10_000, 3));
+    assert_eq!(a, b, "permutation must not depend on thread count");
+}
+
+#[test]
+fn spanning_forest_is_prefix_and_thread_independent() {
+    let edges = random_graph(2_000, 6_000, 13).to_edge_list();
+    let pi = random_edge_permutation(edges.num_edges(), 14);
+    let reference = in_pool(1, || spanning_forest(&edges, &pi, PrefixPolicy::Fixed(1)));
+    for threads in [2, 4] {
+        for policy in [PrefixPolicy::Fixed(101), PrefixPolicy::FractionOfInput(1.0)] {
+            assert_eq!(
+                in_pool(threads, || spanning_forest(&edges, &pi, policy)),
+                reference
+            );
+        }
+    }
+}
