@@ -91,7 +91,9 @@ mod tests {
     use super::*;
     use greedy_graph::gen::random::random_graph;
     use greedy_graph::gen::rmat::rmat_graph;
-    use greedy_graph::gen::structured::{complete_bipartite_graph, complete_graph, cycle_graph, path_graph, star_graph};
+    use greedy_graph::gen::structured::{
+        complete_bipartite_graph, complete_graph, cycle_graph, path_graph, star_graph,
+    };
     use greedy_graph::Graph;
 
     #[test]

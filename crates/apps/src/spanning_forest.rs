@@ -120,10 +120,7 @@ pub fn verify_spanning_forest(edges: &EdgeList, forest: &[u32]) -> bool {
         return false;
     }
     // Same partition: every graph edge must stay within one forest component.
-    edges
-        .edges()
-        .iter()
-        .all(|e| uf_forest.same_set(e.u, e.v))
+    edges.edges().iter().all(|e| uf_forest.same_set(e.u, e.v))
 }
 
 #[cfg(test)]

@@ -54,7 +54,9 @@ fn bench_permutation(c: &mut Criterion) {
 }
 
 fn bench_counting_sort(c: &mut Criterion) {
-    let keys: Vec<u32> = (0..N as u64).map(|i| (i * 2654435761 % 1024) as u32).collect();
+    let keys: Vec<u32> = (0..N as u64)
+        .map(|i| (i * 2654435761 % 1024) as u32)
+        .collect();
     let mut group = c.benchmark_group("primitives/counting_sort");
     group.sample_size(10);
     group.throughput(Throughput::Elements(N as u64));
@@ -64,5 +66,11 @@ fn bench_counting_sort(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan, bench_pack, bench_permutation, bench_counting_sort);
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_pack,
+    bench_permutation,
+    bench_counting_sort
+);
 criterion_main!(benches);

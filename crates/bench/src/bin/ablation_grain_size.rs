@@ -9,7 +9,9 @@
 //! run wins (scheduling overhead dominates the tiny prefixes); above it the
 //! parallel run wins.
 
-use greedy_bench::{print_csv_header, run_on_threads, secs, time_best_of, ExperimentGraph, HarnessConfig};
+use greedy_bench::{
+    print_csv_header, run_on_threads, secs, time_best_of, ExperimentGraph, HarnessConfig,
+};
 use greedy_core::mis::prefix::{prefix_mis, PrefixPolicy};
 use greedy_core::ordering::random_permutation;
 

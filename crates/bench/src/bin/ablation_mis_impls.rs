@@ -69,8 +69,9 @@ fn main() {
         ("prefix_2%", PrefixPolicy::FractionOfInput(0.02)),
         ("prefix_100%", PrefixPolicy::FractionOfInput(1.0)),
     ] {
-        let (t, (mis, stats)) =
-            time_best_of(cfg.reps, || prefix_mis_with_stats(&input.graph, &pi, policy));
+        let (t, (mis, stats)) = time_best_of(cfg.reps, || {
+            prefix_mis_with_stats(&input.graph, &pi, policy)
+        });
         report(label, secs(t), stats, &mis);
     }
 

@@ -21,7 +21,10 @@ use greedy_graph::gen::structured::{complete_graph, path_graph, star_graph};
 fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
     let mut out = vec![
         ("random", random_graph(n, 5 * n, seed)),
-        ("rmat", rmat_graph((n.max(2) as f64).log2().ceil() as u32, 5 * n, seed)),
+        (
+            "rmat",
+            rmat_graph((n.max(2) as f64).log2().ceil() as u32, 5 * n, seed),
+        ),
         ("path", path_graph(n)),
         ("star", star_graph(n)),
     ];
@@ -35,7 +38,10 @@ fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
 fn main() {
     let cfg = HarnessConfig::from_args();
     if !cfg.csv_only {
-        eprintln!("# Theorem 3.5 check — dependence length vs log²(n), seed = {}", cfg.seed);
+        eprintln!(
+            "# Theorem 3.5 check — dependence length vs log²(n), seed = {}",
+            cfg.seed
+        );
     }
     print_csv_header(&[
         "family",

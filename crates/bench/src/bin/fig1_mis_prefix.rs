@@ -50,8 +50,9 @@ fn main() {
     for fraction in prefix_fraction_sweep() {
         let prefix_size = ((fraction * n as f64).ceil() as usize).clamp(1, n.max(1));
         let policy = PrefixPolicy::Fixed(prefix_size);
-        let (elapsed, (mis, stats)) =
-            time_best_of(cfg.reps, || prefix_mis_with_stats(&input.graph, &pi, policy));
+        let (elapsed, (mis, stats)) = time_best_of(cfg.reps, || {
+            prefix_mis_with_stats(&input.graph, &pi, policy)
+        });
         assert!(
             verify_same_set(&mis, &reference),
             "prefix-based MIS diverged from the sequential result at fraction {fraction}"

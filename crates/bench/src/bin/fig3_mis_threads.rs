@@ -50,7 +50,10 @@ fn main() {
     for &threads in &cfg.threads {
         let (prefix_time, luby_time) = run_on_threads(threads, || {
             let (pt, pmis) = time_best_of(cfg.reps, || prefix_mis(&input.graph, &pi, policy));
-            assert_eq!(pmis, serial_mis, "prefix-based MIS must equal the serial result");
+            assert_eq!(
+                pmis, serial_mis,
+                "prefix-based MIS must equal the serial result"
+            );
             let (lt, lmis) = time_best_of(cfg.reps, || luby_mis(&input.graph, cfg.seed));
             assert!(verify_mis(&input.graph, &lmis));
             (pt, lt)

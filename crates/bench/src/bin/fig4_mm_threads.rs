@@ -39,7 +39,10 @@ fn main() {
     for &threads in &cfg.threads {
         let prefix_time = run_on_threads(threads, || {
             let (pt, pmm) = time_best_of(cfg.reps, || prefix_matching(&input.edges, &pi, policy));
-            assert_eq!(pmm, serial_mm, "prefix-based MM must equal the serial result");
+            assert_eq!(
+                pmm, serial_mm,
+                "prefix-based MM must equal the serial result"
+            );
             pt
         });
         println!(

@@ -4,7 +4,7 @@
 //! This is the one-command regeneration path for EXPERIMENTS.md:
 //!
 //! ```text
-//! cargo run --release -p greedy-bench --bin run_all -- --scale small
+//! cargo run --release -p greedy_bench --bin run_all -- --scale small
 //! ```
 
 use std::fs;
@@ -15,11 +15,7 @@ use greedy_bench::HarnessConfig;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let scale = match cfg.scale {
-        greedy_bench::Scale::Small => "small",
-        greedy_bench::Scale::Medium => "medium",
-        greedy_bench::Scale::Paper => "paper",
-    };
+    let scale = cfg.scale.name();
     let out_dir = PathBuf::from("results");
     fs::create_dir_all(&out_dir).expect("cannot create results/ directory");
 
@@ -43,9 +39,32 @@ fn main() {
     for (bin, graphs) in experiments {
         for graph in *graphs {
             let out_path = out_dir.join(format!("{bin}_{graph}.csv"));
-            eprintln!("== running {bin} --graph {graph} --scale {scale} -> {}", out_path.display());
+            eprintln!(
+                "== running {bin} --graph {graph} --scale {scale} -> {}",
+                out_path.display()
+            );
+            let threads = cfg
+                .threads
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
             let output = Command::new(exe_dir.join(bin))
-                .args(["--graph", graph, "--scale", scale, "--seed", &cfg.seed.to_string(), "--csv"])
+                .args([
+                    "--graph",
+                    graph,
+                    "--scale",
+                    scale,
+                    "--seed",
+                    &cfg.seed.to_string(),
+                ])
+                .args([
+                    "--threads",
+                    &threads,
+                    "--reps",
+                    &cfg.reps.to_string(),
+                    "--csv",
+                ])
                 .output()
                 .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
             if !output.status.success() {

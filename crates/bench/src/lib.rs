@@ -60,6 +60,9 @@ impl GraphKind {
 /// Input scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// n = 10⁴, m = 5·10⁴ (random); n = 2¹⁴ (rMat). Milliseconds per
+    /// experiment — the `--quick` smoke-test scale.
+    Tiny,
     /// n = 10⁵, m = 5·10⁵ (random); n = 2¹⁷ (rMat). Seconds per experiment.
     Small,
     /// n = 10⁶, m = 5·10⁶ (random); n = 2²⁰ (rMat). Minutes per experiment.
@@ -69,9 +72,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `small` / `medium` / `paper`.
+    /// Parses `tiny` / `small` / `medium` / `paper`.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
+            "tiny" | "t" | "quick" => Some(Scale::Tiny),
             "small" | "s" => Some(Scale::Small),
             "medium" | "m" => Some(Scale::Medium),
             "paper" | "full" | "large" => Some(Scale::Paper),
@@ -79,9 +83,20 @@ impl Scale {
         }
     }
 
+    /// Short name, as accepted by [`Scale::parse`] and used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// `(n, m)` for the uniform random input at this scale.
     pub fn random_size(self) -> (usize, usize) {
         match self {
+            Scale::Tiny => (10_000, 50_000),
             Scale::Small => (100_000, 500_000),
             Scale::Medium => (1_000_000, 5_000_000),
             Scale::Paper => (10_000_000, 50_000_000),
@@ -91,6 +106,7 @@ impl Scale {
     /// `(log2 n, m)` for the rMat input at this scale.
     pub fn rmat_size(self) -> (u32, usize) {
         match self {
+            Scale::Tiny => (14, 50_000),
             Scale::Small => (17, 500_000),
             Scale::Medium => (20, 5_000_000),
             Scale::Paper => (24, 50_000_000),
@@ -147,8 +163,9 @@ impl ExperimentGraph {
 /// Common command-line options for the experiment binaries.
 ///
 /// Recognized flags (all optional):
-/// `--graph random|rmat`, `--scale small|medium|paper`, `--seed <u64>`,
-/// `--threads <list>` (comma-separated), `--reps <k>`, `--csv` (CSV only).
+/// `--graph random|rmat`, `--scale tiny|small|medium|paper`, `--seed <u64>`,
+/// `--threads <list>` (comma-separated), `--reps <k>`, `--csv` (CSV only),
+/// `--quick` (tiny scale, 1 rep, minimal thread sweep — the smoke-test mode).
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Input graph kind.
@@ -226,7 +243,11 @@ impl HarnessConfig {
                     let v = take("--threads");
                     cfg.threads = v
                         .split(',')
-                        .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("bad thread count '{t}'")))
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad thread count '{t}'"))
+                        })
                         .collect();
                 }
                 "--reps" => {
@@ -234,10 +255,19 @@ impl HarnessConfig {
                     cfg.reps = v.parse().unwrap_or_else(|_| panic!("bad reps '{v}'"));
                 }
                 "--csv" => cfg.csv_only = true,
+                // Smoke-test mode: tiny input, one rep, a two-point thread
+                // sweep — every binary finishes in seconds, so CI can run
+                // `run_all -- --quick` as a cheap end-to-end job.
+                "--quick" => {
+                    cfg.scale = Scale::Tiny;
+                    cfg.reps = 1;
+                    let max = num_cpus::get().max(1);
+                    cfg.threads = if max > 1 { vec![1, max] } else { vec![1] };
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --graph random|rmat --scale small|medium|paper --seed N \
-                         --threads 1,2,4 --reps K --csv"
+                        "flags: --graph random|rmat --scale tiny|small|medium|paper --seed N \
+                         --threads 1,2,4 --reps K --csv --quick"
                     );
                     std::process::exit(0);
                 }
@@ -245,7 +275,10 @@ impl HarnessConfig {
             }
         }
         assert!(cfg.reps >= 1, "--reps must be at least 1");
-        assert!(!cfg.threads.is_empty(), "--threads must list at least one count");
+        assert!(
+            !cfg.threads.is_empty(),
+            "--threads must list at least one count"
+        );
         cfg
     }
 }
@@ -312,8 +345,17 @@ mod tests {
     fn config_parses_flags() {
         let cfg = HarnessConfig::parse(
             [
-                "--graph", "rmat", "--scale", "small", "--seed", "7", "--threads", "1,2,4",
-                "--reps", "2", "--csv",
+                "--graph",
+                "rmat",
+                "--scale",
+                "small",
+                "--seed",
+                "7",
+                "--threads",
+                "1,2,4",
+                "--reps",
+                "2",
+                "--csv",
             ]
             .into_iter()
             .map(String::from),

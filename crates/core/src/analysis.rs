@@ -82,9 +82,10 @@ pub fn round_trace(graph: &Graph, pi: &Permutation) -> Vec<usize> {
             .iter()
             .copied()
             .filter(|&v| {
-                graph.neighbors(v).iter().all(|&w| {
-                    rank[w as usize] > rank[v as usize] || state[w as usize] == S::Out
-                })
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .all(|&w| rank[w as usize] > rank[v as usize] || state[w as usize] == S::Out)
             })
             .collect();
         trace.push(roots.len());
@@ -124,8 +125,14 @@ mod tests {
 
     #[test]
     fn longest_path_empty_and_edgeless() {
-        assert_eq!(priority_dag_longest_path(&Graph::empty(0), &identity_permutation(0)), 0);
-        assert_eq!(priority_dag_longest_path(&Graph::empty(5), &identity_permutation(5)), 1);
+        assert_eq!(
+            priority_dag_longest_path(&Graph::empty(0), &identity_permutation(0)),
+            0
+        );
+        assert_eq!(
+            priority_dag_longest_path(&Graph::empty(5), &identity_permutation(5)),
+            1
+        );
     }
 
     #[test]
@@ -156,7 +163,10 @@ mod tests {
         assert_eq!(priority_dag_longest_path(&g, &pi), 10);
         assert_eq!(dependence_length(&g, &pi), 5);
         let random = dependence_length(&path_graph(512), &random_permutation(512, 3));
-        assert!(random < 40, "random-order dependence length {random} should be polylog");
+        assert!(
+            random < 40,
+            "random-order dependence length {random} should be polylog"
+        );
     }
 
     #[test]

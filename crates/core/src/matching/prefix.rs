@@ -243,7 +243,10 @@ mod tests {
         let el = rmat_edge_list(9, 4_000, RmatParams::default(), 5);
         let pi = random_edge_permutation(el.num_edges(), 6);
         let expected = sequential_matching(&el, &pi);
-        for policy in [PrefixPolicy::Fixed(128), PrefixPolicy::FractionOfInput(0.05)] {
+        for policy in [
+            PrefixPolicy::Fixed(128),
+            PrefixPolicy::FractionOfInput(0.05),
+        ] {
             assert_eq!(prefix_matching(&el, &pi, policy), expected);
         }
     }

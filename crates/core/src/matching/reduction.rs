@@ -57,7 +57,10 @@ mod tests {
     fn agrees_on_structured_graphs() {
         for el in [path_edge_list(30), cycle_edge_list(29), star_edge_list(25)] {
             let pi = random_edge_permutation(el.num_edges(), 5);
-            assert_eq!(matching_via_line_graph(&el, &pi), sequential_matching(&el, &pi));
+            assert_eq!(
+                matching_via_line_graph(&el, &pi),
+                sequential_matching(&el, &pi)
+            );
         }
     }
 

@@ -150,10 +150,7 @@ pub fn rootset_matching_with_stats(edges: &EdgeList, pi: &Permutation) -> (Vec<u
         // Phase 3: mmCheck the candidate vertices; the ready edges they find
         // form the next step's set (deduplicated, since both endpoints of a
         // newly ready edge may be candidates).
-        let mut next_ready: Vec<u32> = candidates
-            .par_iter()
-            .filter_map(|&v| mm_check(v))
-            .collect();
+        let mut next_ready: Vec<u32> = candidates.par_iter().filter_map(|&v| mm_check(v)).collect();
         next_ready.par_sort_unstable();
         next_ready.dedup();
         stats.vertex_work += candidates.len() as u64;

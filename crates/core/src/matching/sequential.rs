@@ -94,7 +94,10 @@ mod tests {
         // Edges of P5: (0,1), (1,2), (2,3), (3,4); greedy in id order takes
         // edge 0 then edge 2.
         let el = path_edge_list(5);
-        assert_eq!(sequential_matching(&el, &identity_permutation(4)), vec![0, 2]);
+        assert_eq!(
+            sequential_matching(&el, &identity_permutation(4)),
+            vec![0, 2]
+        );
     }
 
     #[test]

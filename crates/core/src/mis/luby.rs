@@ -52,9 +52,10 @@ pub fn luby_mis_with_stats(graph: &Graph, seed: u64) -> (Vec<u32>, WorkStats) {
             .par_iter()
             .map(|&v| {
                 let pv = priority(v);
-                graph.neighbors(v).iter().all(|&w| {
-                    state[w as usize] != VertexState::Undecided || priority(w) > pv
-                })
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .all(|&w| state[w as usize] != VertexState::Undecided || priority(w) > pv)
             })
             .collect();
         let mut winner_flags = vec![false; n];
@@ -127,7 +128,12 @@ mod tests {
 
     #[test]
     fn returns_valid_mis_on_structured_graphs() {
-        for g in [path_graph(50), star_graph(30), complete_graph(25), rmat_graph(9, 2_000, 1)] {
+        for g in [
+            path_graph(50),
+            star_graph(30),
+            complete_graph(25),
+            rmat_graph(9, 2_000, 1),
+        ] {
             let mis = luby_mis(&g, 7);
             assert!(verify_mis(&g, &mis));
         }

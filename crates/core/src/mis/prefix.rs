@@ -179,7 +179,10 @@ pub fn prefix_mis_with_stats(
                     .filter(move |&w| rank[w as usize] > rank[v as usize])
             })
             .collect();
-        stats.edge_work += newly_in.iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
+        stats.edge_work += newly_in
+            .iter()
+            .map(|&v| graph.degree(v) as u64)
+            .sum::<u64>();
         for w in knocked {
             if state[w as usize] == VertexState::Undecided {
                 state[w as usize] = VertexState::Out;
@@ -200,7 +203,9 @@ mod tests {
     use crate::ordering::{identity_permutation, random_permutation};
     use greedy_graph::gen::random::random_graph;
     use greedy_graph::gen::rmat::rmat_graph;
-    use greedy_graph::gen::structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+    use greedy_graph::gen::structured::{
+        complete_graph, cycle_graph, grid_graph, path_graph, star_graph,
+    };
     use greedy_graph::Graph;
 
     fn policies() -> Vec<PrefixPolicy> {
@@ -306,7 +311,10 @@ mod tests {
         for policy in policies() {
             for remaining in [1usize, 5, 100, 10_000] {
                 let k = policy.prefix_size(10_000, remaining, 17, 3);
-                assert!(k >= 1 && k <= remaining, "policy {policy:?} gave k={k} for remaining={remaining}");
+                assert!(
+                    k >= 1 && k <= remaining,
+                    "policy {policy:?} gave k={k} for remaining={remaining}"
+                );
             }
         }
     }
@@ -316,7 +324,10 @@ mod tests {
         let p = PrefixPolicy::Adaptive { c: 1.0 };
         let a = p.prefix_size(1_000_000, 1_000_000, 1_000, 0);
         let b = p.prefix_size(1_000_000, 1_000_000, 1_000, 12);
-        assert!(b > a, "adaptive prefix should double each super-round ({a} vs {b})");
+        assert!(
+            b > a,
+            "adaptive prefix should double each super-round ({a} vs {b})"
+        );
     }
 
     #[test]

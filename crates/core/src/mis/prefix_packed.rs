@@ -146,7 +146,10 @@ pub fn packed_prefix_mis_with_stats(
                         .collect()
                 })
                 .collect();
-            stats.edge_work += survivors.iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
+            stats.edge_work += survivors
+                .iter()
+                .map(|&v| graph.degree(v) as u64)
+                .sum::<u64>();
 
             // Step 4: naive parallel greedy steps over the packed subgraph.
             // local_state mirrors `state` for the survivor set only.
@@ -213,7 +216,10 @@ pub fn packed_prefix_mis_with_stats(
                     .filter(move |&w| rank[w as usize] > rank[v as usize])
             })
             .collect();
-        stats.edge_work += newly_in.iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
+        stats.edge_work += newly_in
+            .iter()
+            .map(|&v| graph.degree(v) as u64)
+            .sum::<u64>();
         for w in knocked {
             if state[w as usize] == VertexState::Undecided {
                 state[w as usize] = VertexState::Out;
@@ -235,7 +241,9 @@ mod tests {
     use crate::ordering::{identity_permutation, random_permutation};
     use greedy_graph::gen::random::random_graph;
     use greedy_graph::gen::rmat::rmat_graph;
-    use greedy_graph::gen::structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+    use greedy_graph::gen::structured::{
+        complete_graph, cycle_graph, grid_graph, path_graph, star_graph,
+    };
     use greedy_graph::Graph;
 
     fn policies() -> Vec<PrefixPolicy> {
@@ -250,9 +258,18 @@ mod tests {
 
     #[test]
     fn empty_and_edgeless() {
-        assert!(packed_prefix_mis(&Graph::empty(0), &identity_permutation(0), PrefixPolicy::default()).is_empty());
+        assert!(packed_prefix_mis(
+            &Graph::empty(0),
+            &identity_permutation(0),
+            PrefixPolicy::default()
+        )
+        .is_empty());
         assert_eq!(
-            packed_prefix_mis(&Graph::empty(6), &identity_permutation(6), PrefixPolicy::Fixed(2)),
+            packed_prefix_mis(
+                &Graph::empty(6),
+                &identity_permutation(6),
+                PrefixPolicy::Fixed(2)
+            ),
             vec![0, 1, 2, 3, 4, 5]
         );
     }

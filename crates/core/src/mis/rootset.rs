@@ -177,7 +177,9 @@ mod tests {
     use crate::ordering::{identity_permutation, random_permutation};
     use greedy_graph::gen::random::random_graph;
     use greedy_graph::gen::rmat::rmat_graph;
-    use greedy_graph::gen::structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+    use greedy_graph::gen::structured::{
+        complete_graph, cycle_graph, grid_graph, path_graph, star_graph,
+    };
     use greedy_graph::Graph;
 
     #[test]

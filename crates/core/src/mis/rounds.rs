@@ -52,10 +52,9 @@ pub fn rounds_mis_with_stats(graph: &Graph, pi: &Permutation) -> (Vec<u32>, Work
         let root_flags: Vec<bool> = remaining
             .par_iter()
             .map(|&v| {
-                graph
-                    .neighbors(v)
-                    .iter()
-                    .all(|&w| rank[w as usize] > rank[v as usize] || state[w as usize] == VertexState::Out)
+                graph.neighbors(v).iter().all(|&w| {
+                    rank[w as usize] > rank[v as usize] || state[w as usize] == VertexState::Out
+                })
             })
             .collect();
 
@@ -73,11 +72,7 @@ pub fn rounds_mis_with_stats(graph: &Graph, pi: &Permutation) -> (Vec<u32>, Work
             .map(|&v| {
                 if root_set[v as usize] {
                     VertexState::In
-                } else if graph
-                    .neighbors(v)
-                    .iter()
-                    .any(|&w| root_set[w as usize])
-                {
+                } else if graph.neighbors(v).iter().any(|&w| root_set[w as usize]) {
                     VertexState::Out
                 } else {
                     VertexState::Undecided
@@ -197,7 +192,8 @@ mod tests {
         let g = path_graph(10);
         let (_, stats) = rounds_mis_with_stats(&g, &identity_permutation(10));
         assert_eq!(stats.rounds, 5);
-        let (_, random_stats) = rounds_mis_with_stats(&path_graph(512), &random_permutation(512, 1));
+        let (_, random_stats) =
+            rounds_mis_with_stats(&path_graph(512), &random_permutation(512, 1));
         assert!(random_stats.rounds < 40, "rounds = {}", random_stats.rounds);
     }
 

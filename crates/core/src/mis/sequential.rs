@@ -157,7 +157,10 @@ mod tests {
         let g = path_graph(4);
         let a = sequential_mis(&g, &identity_permutation(4));
         let order: Vec<u32> = vec![1, 3, 0, 2];
-        let b = sequential_mis(&g, &greedy_prims::permutation::Permutation::from_order(order));
+        let b = sequential_mis(
+            &g,
+            &greedy_prims::permutation::Permutation::from_order(order),
+        );
         assert_ne!(a, b);
         assert!(verify_mis(&g, &a));
         assert!(verify_mis(&g, &b));

@@ -151,7 +151,10 @@ mod tests {
             vertex_work: 3,
             edge_work: 4,
         };
-        assert_eq!(WorkStats::csv_header().split(',').count(), s.to_csv_row().split(',').count());
+        assert_eq!(
+            WorkStats::csv_header().split(',').count(),
+            s.to_csv_row().split(',').count()
+        );
         assert_eq!(s.to_csv_row(), "1,2,3,4");
     }
 

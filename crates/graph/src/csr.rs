@@ -222,7 +222,10 @@ impl Graph {
         let n = self.num_vertices();
         let mut new_id = vec![u32::MAX; n];
         for (i, &v) in keep.iter().enumerate() {
-            assert!((v as usize) < n, "induced_subgraph: vertex {v} out of range");
+            assert!(
+                (v as usize) < n,
+                "induced_subgraph: vertex {v} out of range"
+            );
             assert!(
                 new_id[v as usize] == u32::MAX,
                 "induced_subgraph: vertex {v} listed twice"
@@ -266,7 +269,10 @@ impl Graph {
             let adj = self.neighbors(u);
             for &v in adj {
                 if v as usize >= n {
-                    return Err(GraphError::NeighborOutOfRange { vertex: u, neighbor: v });
+                    return Err(GraphError::NeighborOutOfRange {
+                        vertex: u,
+                        neighbor: v,
+                    });
                 }
                 if v == u {
                     return Err(GraphError::SelfLoop(u));
@@ -359,7 +365,12 @@ mod tests {
     fn induced_subgraph_relabels() {
         let g = Graph::from_edges(
             5,
-            &[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 4)],
+            &[
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 4),
+            ],
         );
         let (sub, mapping) = g.induced_subgraph(&[1, 2, 3]);
         assert_eq!(sub.num_vertices(), 3);
@@ -401,7 +412,10 @@ mod tests {
             offsets: vec![0, 1, 1],
             neighbors: vec![1],
         };
-        assert!(matches!(g.validate(), Err(GraphError::Asymmetric { u: 0, v: 1 })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::Asymmetric { u: 0, v: 1 })
+        ));
     }
 
     #[test]
@@ -430,7 +444,10 @@ mod tests {
         };
         assert!(matches!(
             g.validate(),
-            Err(GraphError::NeighborOutOfRange { vertex: 0, neighbor: 5 })
+            Err(GraphError::NeighborOutOfRange {
+                vertex: 0,
+                neighbor: 5
+            })
         ));
     }
 

@@ -29,7 +29,10 @@ impl Edge {
         if self.u <= self.v {
             self
         } else {
-            Self { u: self.v, v: self.u }
+            Self {
+                u: self.v,
+                v: self.u,
+            }
         }
     }
 
@@ -48,7 +51,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("Edge::other: {x} is not an endpoint of ({}, {})", self.u, self.v)
+            panic!(
+                "Edge::other: {x} is not an endpoint of ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -83,7 +89,10 @@ impl EdgeList {
                 e.v
             );
         }
-        Self { num_vertices, edges }
+        Self {
+            num_vertices,
+            edges,
+        }
     }
 
     /// Creates an edge list from `(u, v)` pairs.
@@ -147,8 +156,7 @@ impl EdgeList {
     /// True if the list is in canonical form: no self-loops, all edges with
     /// `u <= v`, sorted, and deduplicated.
     pub fn is_canonical(&self) -> bool {
-        self.edges.windows(2).all(|w| w[0] < w[1])
-            && self.edges.iter().all(|e| e.u < e.v)
+        self.edges.windows(2).all(|w| w[0] < w[1]) && self.edges.iter().all(|e| e.u < e.v)
     }
 
     /// Per-vertex degrees (each edge contributes to both endpoints).

@@ -21,8 +21,14 @@ use crate::edge_list::{Edge, EdgeList};
 /// # Panics
 /// Panics if `p` is not in `[0, 1]`.
 pub fn er_edge_list(n: usize, p: f64, seed: u64) -> EdgeList {
-    assert!((0.0..=1.0).contains(&p), "er_edge_list: p = {p} not in [0, 1]");
-    assert!(n <= u32::MAX as usize, "er_edge_list: n too large for u32 ids");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "er_edge_list: p = {p} not in [0, 1]"
+    );
+    assert!(
+        n <= u32::MAX as usize,
+        "er_edge_list: n too large for u32 ids"
+    );
     if n < 2 || p == 0.0 {
         return EdgeList::empty(n);
     }
@@ -109,7 +115,10 @@ mod tests {
         let el = er_edge_list(n, 0.5, 3);
         let expected = (n * (n - 1) / 2) as f64 * 0.5;
         let m = el.num_edges() as f64;
-        assert!((m - expected).abs() < expected * 0.15, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() < expected * 0.15,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]
@@ -119,7 +128,10 @@ mod tests {
         let el = er_edge_list(n, p, 5);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let m = el.num_edges() as f64;
-        assert!((m - expected).abs() < expected * 0.2, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() < expected * 0.2,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]
@@ -138,7 +150,11 @@ mod tests {
     fn edges_are_canonical_and_unique() {
         let el = er_edge_list(500, 0.01, 4);
         let canon = el.clone().canonicalize();
-        assert_eq!(el.num_edges(), canon.num_edges(), "generator must not emit duplicates");
+        assert_eq!(
+            el.num_edges(),
+            canon.num_edges(),
+            "generator must not emit duplicates"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
 /// Generates the edge list of a uniform random graph with `n` vertices and up
 /// to `m` distinct edges (see [`random_graph`]).
 pub fn random_edge_list(n: usize, m: usize, seed: u64) -> EdgeList {
-    assert!(n <= u32::MAX as usize, "random_edge_list: n too large for u32 ids");
+    assert!(
+        n <= u32::MAX as usize,
+        "random_edge_list: n too large for u32 ids"
+    );
     if n < 2 || m == 0 {
         return EdgeList::empty(n);
     }
@@ -85,8 +88,14 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(random_edge_list(500, 2_000, 7), random_edge_list(500, 2_000, 7));
-        assert_ne!(random_edge_list(500, 2_000, 7), random_edge_list(500, 2_000, 8));
+        assert_eq!(
+            random_edge_list(500, 2_000, 7),
+            random_edge_list(500, 2_000, 7)
+        );
+        assert_ne!(
+            random_edge_list(500, 2_000, 7),
+            random_edge_list(500, 2_000, 8)
+        );
     }
 
     #[test]
@@ -132,6 +141,9 @@ mod tests {
         // Average degree 2m/n = 10; no vertex should be wildly above it.
         let g = random_graph(5_000, 25_000, 9);
         let max_deg = g.max_degree();
-        assert!(max_deg < 60, "max degree {max_deg} suspiciously large for a uniform graph");
+        assert!(
+            max_deg < 60,
+            "max degree {max_deg} suspiciously large for a uniform graph"
+        );
     }
 }

@@ -33,7 +33,11 @@ impl RmatParams {
     /// The PBBS defaults (a = 0.5, b = c = 0.1, d = 0.3), which produce the
     /// skewed power-law degree distribution used in the paper's experiments.
     pub fn pbbs_default() -> Self {
-        Self { a: 0.5, b: 0.1, c: 0.1 }
+        Self {
+            a: 0.5,
+            b: 0.1,
+            c: 0.1,
+        }
     }
 
     /// The implied probability of the bottom-right quadrant.
@@ -46,7 +50,9 @@ impl RmatParams {
         let d = self.d();
         for (name, p) in [("a", self.a), ("b", self.b), ("c", self.c), ("d", d)] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("RmatParams: probability {name} = {p} not in [0, 1]"));
+                return Err(format!(
+                    "RmatParams: probability {name} = {p} not in [0, 1]"
+                ));
             }
         }
         Ok(())
@@ -65,7 +71,10 @@ pub fn rmat_edge_list(log_n: u32, m: usize, params: RmatParams, seed: u64) -> Ed
     params
         .validate()
         .unwrap_or_else(|e| panic!("rmat_edge_list: {e}"));
-    assert!(log_n <= 31, "rmat_edge_list: log_n = {log_n} too large for u32 ids");
+    assert!(
+        log_n <= 31,
+        "rmat_edge_list: log_n = {log_n} too large for u32 ids"
+    );
     let n = 1usize << log_n;
     if n < 2 || m == 0 {
         return EdgeList::empty(n);
@@ -133,7 +142,11 @@ mod tests {
 
     #[test]
     fn params_invalid_detected() {
-        let p = RmatParams { a: 0.9, b: 0.9, c: 0.9 };
+        let p = RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.9,
+        };
         assert!(p.validate().is_err());
     }
 
@@ -142,7 +155,11 @@ mod tests {
         let el = rmat_edge_list(10, 5_000, RmatParams::default(), 1);
         assert_eq!(el.num_vertices(), 1024);
         assert!(el.num_edges() <= 5_000);
-        assert!(el.num_edges() > 3_000, "too many duplicates: {}", el.num_edges());
+        assert!(
+            el.num_edges() > 3_000,
+            "too many duplicates: {}",
+            el.num_edges()
+        );
         assert!(el.is_canonical());
     }
 
@@ -181,22 +198,44 @@ mod tests {
     fn uniform_params_are_not_skewed() {
         // With a = b = c = d = 0.25 the generator degenerates to a uniform
         // random graph; the skew check above should fail here.
-        let params = RmatParams { a: 0.25, b: 0.25, c: 0.25 };
+        let params = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
         let g = rmat_graph_with_params(14, 40_000, params, 7);
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
         let max = g.max_degree() as f64;
-        assert!(max < 5.0 * avg, "uniform quadrants should not produce extreme skew");
+        assert!(
+            max < 5.0 * avg,
+            "uniform quadrants should not produce extreme skew"
+        );
     }
 
     #[test]
     fn empty_and_tiny() {
-        assert_eq!(rmat_edge_list(0, 100, RmatParams::default(), 1).num_edges(), 0);
-        assert_eq!(rmat_edge_list(5, 0, RmatParams::default(), 1).num_edges(), 0);
+        assert_eq!(
+            rmat_edge_list(0, 100, RmatParams::default(), 1).num_edges(),
+            0
+        );
+        assert_eq!(
+            rmat_edge_list(5, 0, RmatParams::default(), 1).num_edges(),
+            0
+        );
     }
 
     #[test]
     #[should_panic(expected = "not in [0, 1]")]
     fn rejects_invalid_params() {
-        rmat_edge_list(5, 10, RmatParams { a: 1.5, b: 0.0, c: 0.0 }, 1);
+        rmat_edge_list(
+            5,
+            10,
+            RmatParams {
+                a: 1.5,
+                b: 0.0,
+                c: 0.0,
+            },
+            1,
+        );
     }
 }

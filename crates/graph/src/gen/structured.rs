@@ -97,7 +97,10 @@ pub fn grid_edge_list(rows: usize, cols: usize) -> EdgeList {
 /// The complete bipartite graph K_{a,b}: parts {0..a} and {a..a+b}.
 pub fn complete_bipartite_graph(a: usize, b: usize) -> Graph {
     let n = a + b;
-    assert!(n <= u32::MAX as usize, "complete_bipartite_graph: too many vertices");
+    assert!(
+        n <= u32::MAX as usize,
+        "complete_bipartite_graph: too many vertices"
+    );
     let mut edges = Vec::with_capacity(a * b);
     for u in 0..a as u32 {
         for v in 0..b as u32 {

@@ -166,7 +166,9 @@ pub fn read_edge_list(path: &Path) -> Result<EdgeList, IoError> {
     let n = n.ok_or_else(|| IoError::Format("missing '# n' header line".into()))?;
     for &(u, v) in &pairs {
         if u as usize >= n || v as usize >= n {
-            return Err(IoError::Format(format!("edge ({u}, {v}) out of range for n={n}")));
+            return Err(IoError::Format(format!(
+                "edge ({u}, {v}) out of range for n={n}"
+            )));
         }
     }
     Ok(EdgeList::from_pairs(n, pairs))
@@ -245,7 +247,8 @@ mod tests {
 
     #[test]
     fn read_missing_file_is_io_error() {
-        let err = read_adjacency_graph(Path::new("/nonexistent/definitely/missing.txt")).unwrap_err();
+        let err =
+            read_adjacency_graph(Path::new("/nonexistent/definitely/missing.txt")).unwrap_err();
         assert!(matches!(err, IoError::Io(_)));
         assert!(err.to_string().contains("i/o error"));
     }

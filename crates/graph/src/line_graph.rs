@@ -25,7 +25,10 @@ use crate::edge_list::{Edge, EdgeList};
 /// input edges would otherwise produce spurious adjacencies.
 pub fn line_graph(edges: &EdgeList) -> Graph {
     let m = edges.num_edges();
-    assert!(m <= u32::MAX as usize, "line_graph: too many edges for u32 ids");
+    assert!(
+        m <= u32::MAX as usize,
+        "line_graph: too many edges for u32 ids"
+    );
     // Group edge ids by endpoint; all pairs within one group are adjacent in L(G).
     let inc = edges.incidence_lists();
     let line_edges: Vec<Edge> = inc

@@ -32,7 +32,11 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
         num_vertices: n,
         num_edges: m,
         max_degree: graph.max_degree(),
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
         isolated_vertices: (0..n as u32)
             .into_par_iter()
             .filter(|&v| graph.degree(v) == 0)

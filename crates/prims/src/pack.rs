@@ -20,7 +20,11 @@ use crate::util::{blocks, default_num_blocks, SEQUENTIAL_CUTOFF};
 /// assert_eq!(out, vec![10, 30]);
 /// ```
 pub fn pack<T: Copy>(input: &[T], flags: &[bool]) -> Vec<T> {
-    assert_eq!(input.len(), flags.len(), "pack: input/flags length mismatch");
+    assert_eq!(
+        input.len(),
+        flags.len(),
+        "pack: input/flags length mismatch"
+    );
     input
         .iter()
         .zip(flags.iter())
@@ -45,7 +49,11 @@ pub fn pack_index(flags: &[bool]) -> Vec<usize> {
 /// Parallel pack: identical output to [`pack`], computed with a blocked
 /// count–scan–scatter pass.
 pub fn par_pack<T: Copy + Send + Sync>(input: &[T], flags: &[bool]) -> Vec<T> {
-    assert_eq!(input.len(), flags.len(), "par_pack: input/flags length mismatch");
+    assert_eq!(
+        input.len(),
+        flags.len(),
+        "par_pack: input/flags length mismatch"
+    );
     let n = input.len();
     if n < SEQUENTIAL_CUTOFF {
         return pack(input, flags);

@@ -150,7 +150,10 @@ impl Permutation {
 /// Uniformly random permutation of `0..n` via Fisher–Yates with a
 /// ChaCha8 RNG seeded by `seed`.
 pub fn random_permutation(n: usize, seed: u64) -> Permutation {
-    assert!(n <= u32::MAX as usize, "random_permutation: n too large for u32 ids");
+    assert!(
+        n <= u32::MAX as usize,
+        "random_permutation: n too large for u32 ids"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(&mut rng);
@@ -162,7 +165,10 @@ pub fn random_permutation(n: usize, seed: u64) -> Permutation {
 /// Each element is keyed with `hash64(seed, element)` and elements are sorted
 /// by `(key, element)`. The result is independent of the number of threads.
 pub fn par_random_permutation(n: usize, seed: u64) -> Permutation {
-    assert!(n <= u32::MAX as usize, "par_random_permutation: n too large for u32 ids");
+    assert!(
+        n <= u32::MAX as usize,
+        "par_random_permutation: n too large for u32 ids"
+    );
     let mut keyed: Vec<(u64, u32)> = (0..n as u32)
         .into_par_iter()
         .map(|v| (hash64(seed, v as u64), v))

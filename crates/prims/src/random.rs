@@ -69,7 +69,10 @@ fn mix64(mut z: u64) -> u64 {
 /// assert_ne!(hash64(1, 2), hash64(2, 2));
 /// ```
 pub fn hash64(seed: u64, index: u64) -> u64 {
-    mix64(seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(mix64(index.wrapping_add(0x9E3779B97F4A7C15))))
+    mix64(
+        seed.wrapping_mul(0xA24BAED4963EE407)
+            .wrapping_add(mix64(index.wrapping_add(0x9E3779B97F4A7C15))),
+    )
 }
 
 /// Stateless hash reduced to `0..bound` (bound must be nonzero).

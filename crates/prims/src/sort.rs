@@ -30,7 +30,10 @@ where
     let mut counts = vec![0usize; num_keys];
     for item in items {
         let k = key(item) as usize;
-        debug_assert!(k < num_keys, "counting_sort_by_key: key {k} >= num_keys {num_keys}");
+        debug_assert!(
+            k < num_keys,
+            "counting_sort_by_key: key {k} >= num_keys {num_keys}"
+        );
         counts[k] += 1;
     }
     exclusive_scan_in_place(&mut counts);
@@ -65,7 +68,10 @@ where
     let mut counts = vec![0usize; num_buckets + 1];
     for item in items {
         let k = key(item) as usize;
-        debug_assert!(k < num_buckets, "bucket_by_key: key {k} >= num_buckets {num_buckets}");
+        debug_assert!(
+            k < num_buckets,
+            "bucket_by_key: key {k} >= num_buckets {num_buckets}"
+        );
         counts[k + 1] += 1;
     }
     for i in 1..counts.len() {
@@ -125,7 +131,9 @@ mod tests {
 
     #[test]
     fn counting_sort_matches_std_sort() {
-        let items: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 997) as u32).collect();
+        let items: Vec<u32> = (0..10_000)
+            .map(|i| (i * 2654435761u64 % 997) as u32)
+            .collect();
         let sorted = counting_sort_by_key(&items, 997, |&x| x);
         let mut expected = items.clone();
         expected.sort();

@@ -36,7 +36,8 @@ impl MatchingStep<'_> {
 
     fn dead(&self, i: usize) -> bool {
         let (u, v) = self.endpoints(i);
-        self.vertex_matched[u].load(Ordering::SeqCst) || self.vertex_matched[v].load(Ordering::SeqCst)
+        self.vertex_matched[u].load(Ordering::SeqCst)
+            || self.vertex_matched[v].load(Ordering::SeqCst)
     }
 }
 
@@ -112,7 +113,9 @@ pub fn reservation_matching_with_granularity(
         edges,
         order: pi.order(),
         reservations: ReserveTable::new(edges.num_vertices()),
-        vertex_matched: (0..edges.num_vertices()).map(|_| AtomicBool::new(false)).collect(),
+        vertex_matched: (0..edges.num_vertices())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
         in_matching: (0..m).map(|_| AtomicBool::new(false)).collect(),
     };
     let stats = speculative_for(&step, m, granularity.max(1));
@@ -177,7 +180,10 @@ mod tests {
             rmat_edge_list(9, 3_000, RmatParams::default(), 2),
         ] {
             let pi = random_edge_permutation(el.num_edges(), 5);
-            assert_eq!(reservation_matching(&el, &pi), sequential_matching(&el, &pi));
+            assert_eq!(
+                reservation_matching(&el, &pi),
+                sequential_matching(&el, &pi)
+            );
         }
     }
 
@@ -185,7 +191,10 @@ mod tests {
     fn identity_order_also_matches() {
         let el = random_edge_list(200, 800, 9);
         let pi = identity_permutation(el.num_edges());
-        assert_eq!(reservation_matching(&el, &pi), sequential_matching(&el, &pi));
+        assert_eq!(
+            reservation_matching(&el, &pi),
+            sequential_matching(&el, &pi)
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
     fn lowest_priority_wins() {
         let cell = ReserveCell::new();
         assert!(cell.reserve(10));
-        assert!(!cell.reserve(20), "larger priority must not displace a smaller one");
+        assert!(
+            !cell.reserve(20),
+            "larger priority must not displace a smaller one"
+        );
         assert!(cell.reserve(5));
         assert_eq!(cell.current(), 5);
         assert!(cell.holds(5));

@@ -47,7 +47,10 @@ pub fn speculative_for<S: ReservationStep>(
     num_iterates: usize,
     granularity: usize,
 ) -> WorkStats {
-    assert!(granularity > 0, "speculative_for: granularity must be positive");
+    assert!(
+        granularity > 0,
+        "speculative_for: granularity must be positive"
+    );
     let mut stats = WorkStats::new();
     // Pending iterates carried over from the previous round, in priority order.
     let mut pending: Vec<usize> = Vec::new();

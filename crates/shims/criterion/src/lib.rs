@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and type surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `throughput`, `bench_function` with [`BenchmarkId`], and
+//! [`Bencher::iter`] — with a simple measurement loop instead of criterion's
+//! statistical machinery: per benchmark it warms up, times `sample_size`
+//! samples, and prints min/median/throughput to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from_parameter("default"), f);
+        group.finish();
+    }
+}
+
+/// Units for reporting throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier distinguishing benchmarks within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort_unstable();
+        let (min, median) = match samples.as_slice() {
+            [] => (Duration::ZERO, Duration::ZERO),
+            s => (s[0], s[s.len() / 2]),
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  {:.3e} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  {:.3e} B/s", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: min {:?}  median {:?}  ({} samples){}",
+            self.name,
+            id.id,
+            min,
+            median,
+            samples.len(),
+            rate
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target from its group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| calls += 1)
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `num_cpus` crate.
+//!
+//! This workspace builds in environments with no crates.io access; the shims
+//! under `crates/shims/` provide the API subset the workspace uses. This one
+//! maps `num_cpus::get()` onto `std::thread::available_parallelism`.
+
+/// Number of logical CPUs available to this process (at least 1).
+pub fn get() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of physical CPUs. The standard library exposes only logical
+/// parallelism, so this returns the same value as [`get`].
+pub fn get_physical() -> usize {
+    get()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one() {
+        assert!(super::get() >= 1);
+        assert!(super::get_physical() >= 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 keystream generator (D. J. Bernstein's
+//! ChaCha with 8 rounds) behind the small [`rand`] shim traits. The word
+//! stream is a faithful ChaCha8 keystream for the expanded key; the
+//! `seed_from_u64` key expansion is a SplitMix64 fill, so streams are not
+//! bit-identical to the upstream crate's — nothing in this workspace
+//! depends on that, only on fixed-seed determinism and statistical quality.
+
+use rand::{RngCore, SeedableRng};
+
+/// "expand 32-byte k" — the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 8 key words, 2 counter words, 2 nonce words.
+    state: [u32; 16],
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds then 4 diagonal rounds.
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (o, (&a, &b)) in self.buf.iter_mut().zip(x.iter().zip(self.state.iter())) {
+            *o = a.wrapping_add(b);
+        }
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 key expansion (the rand crate seeds sub-u64 states the
+        // same way).
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..4 {
+            let w = next();
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn output_crosses_block_boundaries() {
+        // 16 words per block; draw enough u64s to force several refills.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            seen.insert(rng.next_u64());
+        }
+        assert!(seen.len() > 250, "keystream should look non-repeating");
+    }
+
+    #[test]
+    fn low_bit_is_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let ones = (0..10_000).filter(|_| rng.next_u32() & 1 == 1).count();
+        assert!((4_500..5_500).contains(&ones), "ones = {ones}");
+    }
+}

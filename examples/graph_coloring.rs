@@ -13,8 +13,14 @@ fn main() {
     // Color the paper's two input families (scaled down) plus a structured
     // graph with a known chromatic number as a sanity anchor.
     let inputs: Vec<(&str, Graph)> = vec![
-        ("uniform random (n=50k, m=250k)", random_graph(50_000, 250_000, 3)),
-        ("rMat power-law (n=2^16, m=250k)", rmat_graph(16, 250_000, 3)),
+        (
+            "uniform random (n=50k, m=250k)",
+            random_graph(50_000, 250_000, 3),
+        ),
+        (
+            "rMat power-law (n=2^16, m=250k)",
+            rmat_graph(16, 250_000, 3),
+        ),
         ("2-D grid 200x200 (2-colorable)", grid_graph(200, 200)),
     ];
 
@@ -22,7 +28,10 @@ fn main() {
         let t = std::time::Instant::now();
         let coloring = greedy_coloring(&graph, 11);
         let elapsed = t.elapsed();
-        assert!(coloring.is_proper(&graph), "coloring of {name} must be proper");
+        assert!(
+            coloring.is_proper(&graph),
+            "coloring of {name} must be proper"
+        );
 
         let sizes = coloring.class_sizes();
         println!("{name}");

@@ -11,13 +11,19 @@
 
 use std::time::Instant;
 
-use greedy_parallel::prelude::*;
 use greedy_core::mis::luby::luby_mis_with_stats;
+use greedy_parallel::prelude::*;
 
 fn main() {
     let inputs: Vec<(&str, Graph)> = vec![
-        ("uniform random (n=200k, m=1M)", random_graph(200_000, 1_000_000, 21)),
-        ("rMat power-law (n=2^18, m=1M)", rmat_graph(18, 1_000_000, 21)),
+        (
+            "uniform random (n=200k, m=1M)",
+            random_graph(200_000, 1_000_000, 21),
+        ),
+        (
+            "rMat power-law (n=2^18, m=1M)",
+            rmat_graph(18, 1_000_000, 21),
+        ),
     ];
 
     for (name, graph) in inputs {
@@ -41,9 +47,7 @@ fn main() {
         assert!(verify_mis(&graph, &luby));
 
         println!("{name}: n = {n}, m = {}", graph.num_edges());
-        println!(
-            "  serial greedy       : {serial_time:>10.2?}   (work = n = {n})"
-        );
+        println!("  serial greedy       : {serial_time:>10.2?}   (work = n = {n})");
         println!(
             "  prefix-based greedy : {prefix_time:>10.2?}   rounds = {:>4}, element work = {}",
             prefix_stats.rounds, prefix_stats.vertex_work

@@ -34,9 +34,16 @@ fn main() {
     let (par, stats) = prefix_mis_with_stats(&graph, &pi, PrefixPolicy::default());
     let par_time = t.elapsed();
 
-    assert_eq!(seq, par, "the parallel greedy MIS must equal the sequential one");
+    assert_eq!(
+        seq, par,
+        "the parallel greedy MIS must equal the sequential one"
+    );
     assert!(verify_mis(&graph, &par));
-    println!("\nMIS: {} vertices ({}% of the graph)", par.len(), 100 * par.len() / n);
+    println!(
+        "\nMIS: {} vertices ({}% of the graph)",
+        par.len(),
+        100 * par.len() / n
+    );
     println!("  sequential greedy: {seq_time:?}");
     println!(
         "  prefix-based parallel: {par_time:?} ({} prefix rounds, work/N = {:.2})",
@@ -59,7 +66,10 @@ fn main() {
     let par_mm = prefix_matching(&edges, &edge_pi, PrefixPolicy::default());
     let par_mm_time = t.elapsed();
 
-    assert_eq!(seq_mm, par_mm, "the parallel greedy MM must equal the sequential one");
+    assert_eq!(
+        seq_mm, par_mm,
+        "the parallel greedy MM must equal the sequential one"
+    );
     assert!(verify_maximal_matching(&edges, &par_mm));
     println!("\nMaximal matching: {} edges", par_mm.len());
     println!("  sequential greedy: {seq_mm_time:?}");

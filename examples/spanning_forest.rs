@@ -10,9 +10,9 @@
 
 use std::time::Instant;
 
-use greedy_parallel::prelude::*;
 use greedy_apps::spanning_forest::{sequential_spanning_forest, verify_spanning_forest};
 use greedy_apps::vertex_cover::{approx_vertex_cover, is_vertex_cover};
+use greedy_parallel::prelude::*;
 
 fn main() {
     let graph = random_graph(100_000, 400_000, 8);
@@ -32,7 +32,10 @@ fn main() {
     let par = spanning_forest(&edges, &pi, PrefixPolicy::FractionOfInput(0.02));
     let par_time = t.elapsed();
 
-    assert_eq!(seq, par, "prefix-based forest must equal the sequential greedy forest");
+    assert_eq!(
+        seq, par,
+        "prefix-based forest must equal the sequential greedy forest"
+    );
     assert!(verify_spanning_forest(&edges, &par));
     println!("spanning forest: {} edges", par.len());
     println!("  sequential greedy   : {seq_time:?}");

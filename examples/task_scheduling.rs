@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example task_scheduling`
 
-use greedy_parallel::prelude::*;
 use greedy_graph::builder::GraphBuilder;
+use greedy_parallel::prelude::*;
 
 /// A synthetic task touching a few shared resources.
 struct Task {
@@ -76,13 +76,22 @@ fn main() {
     let schedule = schedule_tasks(&conflicts, 7);
     let elapsed = t.elapsed();
 
-    assert!(schedule.is_valid(&conflicts), "schedule must be conflict-free and complete");
-    println!("\nscheduled into {} conflict-free batches in {elapsed:?}", schedule.num_batches());
+    assert!(
+        schedule.is_valid(&conflicts),
+        "schedule must be conflict-free and complete"
+    );
+    println!(
+        "\nscheduled into {} conflict-free batches in {elapsed:?}",
+        schedule.num_batches()
+    );
 
     let sizes: Vec<usize> = schedule.batches.iter().map(|b| b.len()).collect();
     let largest = sizes.iter().copied().max().unwrap_or(0);
     let smallest = sizes.iter().copied().min().unwrap_or(0);
-    println!("batch sizes: first = {}, largest = {largest}, smallest = {smallest}", sizes[0]);
+    println!(
+        "batch sizes: first = {}, largest = {largest}, smallest = {smallest}",
+        sizes[0]
+    );
     println!(
         "average parallelism (tasks per batch): {:.1}",
         num_tasks as f64 / schedule.num_batches() as f64

@@ -46,6 +46,10 @@ pub use greedy_reservations;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use greedy_apps::coloring::greedy_coloring;
+    pub use greedy_apps::scheduling::{schedule_tasks, TaskSchedule};
+    pub use greedy_apps::spanning_forest::spanning_forest;
+    pub use greedy_apps::vertex_cover::vertex_cover_from_matching;
     pub use greedy_core::analysis::{dependence_length, priority_dag_longest_path};
     pub use greedy_core::matching::prefix::{prefix_matching, prefix_matching_with_stats};
     pub use greedy_core::matching::rootset::rootset_matching;
@@ -61,7 +65,6 @@ pub mod prelude {
     pub use greedy_core::mis::verify::{verify_mis, verify_same_set};
     pub use greedy_core::ordering::{random_edge_permutation, random_permutation};
     pub use greedy_core::stats::WorkStats;
-    pub use greedy_prims::permutation::Permutation;
     pub use greedy_graph::csr::Graph;
     pub use greedy_graph::edge_list::EdgeList;
     pub use greedy_graph::gen::random::random_graph;
@@ -69,11 +72,8 @@ pub mod prelude {
     pub use greedy_graph::gen::structured::{
         complete_graph, cycle_graph, grid_graph, path_graph, star_graph,
     };
+    pub use greedy_prims::permutation::Permutation;
     pub use greedy_reservations::matching::reservation_matching;
     pub use greedy_reservations::mis::reservation_mis;
     pub use greedy_reservations::speculative_for::{speculative_for, ReservationStep};
-    pub use greedy_apps::coloring::greedy_coloring;
-    pub use greedy_apps::scheduling::{schedule_tasks, TaskSchedule};
-    pub use greedy_apps::spanning_forest::spanning_forest;
-    pub use greedy_apps::vertex_cover::vertex_cover_from_matching;
 }

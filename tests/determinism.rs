@@ -21,7 +21,10 @@ fn mis_is_thread_count_independent() {
         let result = in_pool(threads, || prefix_mis(&graph, &pi, PrefixPolicy::default()));
         assert_eq!(result, reference, "MIS changed with {threads} threads");
         let rooted = in_pool(threads, || rootset_mis(&graph, &pi));
-        assert_eq!(rooted, reference, "root-set MIS changed with {threads} threads");
+        assert_eq!(
+            rooted, reference,
+            "root-set MIS changed with {threads} threads"
+        );
     }
 }
 
@@ -31,10 +34,15 @@ fn matching_is_thread_count_independent() {
     let pi = random_edge_permutation(edges.num_edges(), 4);
     let reference = in_pool(1, || prefix_matching(&edges, &pi, PrefixPolicy::default()));
     for threads in [2, 4, 8] {
-        let result = in_pool(threads, || prefix_matching(&edges, &pi, PrefixPolicy::default()));
+        let result = in_pool(threads, || {
+            prefix_matching(&edges, &pi, PrefixPolicy::default())
+        });
         assert_eq!(result, reference, "matching changed with {threads} threads");
         let rooted = in_pool(threads, || rootset_matching(&edges, &pi));
-        assert_eq!(rooted, reference, "root-set matching changed with {threads} threads");
+        assert_eq!(
+            rooted, reference,
+            "root-set matching changed with {threads} threads"
+        );
     }
 }
 
@@ -55,7 +63,10 @@ fn coloring_and_schedule_are_thread_count_independent() {
     let coloring_ref = in_pool(1, || greedy_coloring(&graph, 8));
     let schedule_ref = in_pool(1, || schedule_tasks(&graph, 9));
     for threads in [2, 4] {
-        assert_eq!(in_pool(threads, || greedy_coloring(&graph, 8)), coloring_ref);
+        assert_eq!(
+            in_pool(threads, || greedy_coloring(&graph, 8)),
+            coloring_ref
+        );
         assert_eq!(in_pool(threads, || schedule_tasks(&graph, 9)), schedule_ref);
     }
 }

@@ -16,8 +16,14 @@ fn check_all_equal(edges: &EdgeList, pi: &Permutation) {
         ("rounds", rounds_matching(edges, pi)),
         ("rootset", rootset_matching(edges, pi)),
         ("reservations", reservation_matching(edges, pi)),
-        ("prefix_fixed_1", prefix_matching(edges, pi, PrefixPolicy::Fixed(1))),
-        ("prefix_fixed_23", prefix_matching(edges, pi, PrefixPolicy::Fixed(23))),
+        (
+            "prefix_fixed_1",
+            prefix_matching(edges, pi, PrefixPolicy::Fixed(1)),
+        ),
+        (
+            "prefix_fixed_23",
+            prefix_matching(edges, pi, PrefixPolicy::Fixed(23)),
+        ),
         (
             "prefix_2pct",
             prefix_matching(edges, pi, PrefixPolicy::FractionOfInput(0.02)),
@@ -28,7 +34,10 @@ fn check_all_equal(edges: &EdgeList, pi: &Permutation) {
         ),
     ];
     for (name, mm) in implementations {
-        assert_eq!(mm, reference, "{name} diverged from the sequential greedy matching");
+        assert_eq!(
+            mm, reference,
+            "{name} diverged from the sequential greedy matching"
+        );
     }
 }
 
@@ -89,7 +98,10 @@ fn matching_size_within_factor_two_of_any_matching() {
     let edges = random_graph(1_000, 5_000, 7).to_edge_list();
     let a = sequential_matching(&edges, &random_edge_permutation(edges.num_edges(), 1)).len();
     let b = sequential_matching(&edges, &random_edge_permutation(edges.num_edges(), 2)).len();
-    assert!(a * 2 >= b && b * 2 >= a, "sizes {a} and {b} differ by more than 2x");
+    assert!(
+        a * 2 >= b && b * 2 >= a,
+        "sizes {a} and {b} differ by more than 2x"
+    );
 }
 
 proptest! {

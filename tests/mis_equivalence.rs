@@ -15,8 +15,14 @@ fn all_parallel_mis(graph: &Graph, pi: &Permutation) -> Vec<(&'static str, Vec<u
             "packed_prefix",
             packed_prefix_mis(graph, pi, PrefixPolicy::FractionOfInput(0.05)),
         ),
-        ("prefix_fixed_1", prefix_mis(graph, pi, PrefixPolicy::Fixed(1))),
-        ("prefix_fixed_37", prefix_mis(graph, pi, PrefixPolicy::Fixed(37))),
+        (
+            "prefix_fixed_1",
+            prefix_mis(graph, pi, PrefixPolicy::Fixed(1)),
+        ),
+        (
+            "prefix_fixed_37",
+            prefix_mis(graph, pi, PrefixPolicy::Fixed(37)),
+        ),
         (
             "prefix_1pct",
             prefix_mis(graph, pi, PrefixPolicy::FractionOfInput(0.01)),
@@ -38,9 +44,15 @@ fn all_parallel_mis(graph: &Graph, pi: &Permutation) -> Vec<(&'static str, Vec<u
 
 fn check_all_equal(graph: &Graph, pi: &Permutation) {
     let reference = sequential_mis(graph, pi);
-    assert!(verify_mis(graph, &reference), "sequential result must be a valid MIS");
+    assert!(
+        verify_mis(graph, &reference),
+        "sequential result must be a valid MIS"
+    );
     for (name, mis) in all_parallel_mis(graph, pi) {
-        assert_eq!(mis, reference, "{name} diverged from the sequential greedy MIS");
+        assert_eq!(
+            mis, reference,
+            "{name} diverged from the sequential greedy MIS"
+        );
     }
 }
 
@@ -86,7 +98,12 @@ fn equivalence_under_adversarial_identity_order() {
     // The theorem needs a random order, but correctness (same result as
     // sequential) must hold for every order, including the identity.
     use greedy_core::ordering::identity_permutation;
-    for graph in [path_graph(200), star_graph(100), complete_graph(40), random_graph(300, 900, 3)] {
+    for graph in [
+        path_graph(200),
+        star_graph(100),
+        complete_graph(40),
+        random_graph(300, 900, 3),
+    ] {
         let pi = identity_permutation(graph.num_vertices());
         check_all_equal(&graph, &pi);
     }
@@ -97,7 +114,11 @@ fn luby_is_valid_but_independent_of_pi() {
     let graph = random_graph(2_000, 10_000, 9);
     let luby = luby_mis(&graph, 1);
     assert!(verify_mis(&graph, &luby));
-    assert_eq!(luby, luby_mis(&graph, 1), "Luby must be deterministic in its seed");
+    assert_eq!(
+        luby,
+        luby_mis(&graph, 1),
+        "Luby must be deterministic in its seed"
+    );
 }
 
 #[test]
@@ -108,7 +129,10 @@ fn mis_size_is_identical_across_seeds_only_for_same_order() {
     let graph = random_graph(1_000, 6_000, 2);
     let a = sequential_mis(&graph, &random_permutation(1_000, 1));
     let b = sequential_mis(&graph, &random_permutation(1_000, 2));
-    assert_ne!(a, b, "two different random orders almost surely give different MISs");
+    assert_ne!(
+        a, b,
+        "two different random orders almost surely give different MISs"
+    );
 }
 
 proptest! {

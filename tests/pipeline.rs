@@ -3,13 +3,19 @@
 
 use std::path::PathBuf;
 
-use greedy_graph::io::{read_adjacency_graph, read_edge_list, write_adjacency_graph, write_edge_list};
+use greedy_graph::io::{
+    read_adjacency_graph, read_edge_list, write_adjacency_graph, write_edge_list,
+};
 use greedy_graph::stats::{degree_histogram, graph_stats};
 use greedy_parallel::prelude::*;
 
 fn temp_path(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
-    p.push(format!("greedy_parallel_pipeline_{}_{}", std::process::id(), name));
+    p.push(format!(
+        "greedy_parallel_pipeline_{}_{}",
+        std::process::id(),
+        name
+    ));
     p
 }
 
@@ -41,7 +47,10 @@ fn edge_list_roundtrip_preserves_matching() {
     assert_eq!(edges, reloaded);
 
     let pi = random_edge_permutation(edges.num_edges(), 6);
-    assert_eq!(sequential_matching(&edges, &pi), sequential_matching(&reloaded, &pi));
+    assert_eq!(
+        sequential_matching(&edges, &pi),
+        sequential_matching(&reloaded, &pi)
+    );
 }
 
 #[test]
@@ -86,7 +95,9 @@ fn full_application_chain_on_one_input() {
     assert!(greedy_apps::vertex_cover::is_vertex_cover(&edges, &cover));
 
     let forest = spanning_forest(&edges, &edge_pi, PrefixPolicy::default());
-    assert!(greedy_apps::spanning_forest::verify_spanning_forest(&edges, &forest));
+    assert!(greedy_apps::spanning_forest::verify_spanning_forest(
+        &edges, &forest
+    ));
 }
 
 #[test]
@@ -100,5 +111,8 @@ fn workstats_expose_the_figure_quantities() {
     assert!(stats.rounds_per_element(3_000) <= 1.0);
     assert!(stats.total_work() >= stats.vertex_work);
     let csv = stats.to_csv_row();
-    assert_eq!(csv.split(',').count(), WorkStats::csv_header().split(',').count());
+    assert_eq!(
+        csv.split(',').count(),
+        WorkStats::csv_header().split(',').count()
+    );
 }

@@ -72,7 +72,11 @@ fn custom_greedy_loop_matches_sequential_for_every_granularity() {
             owner: (0..num_buckets).map(|_| AtomicU32::new(u32::MAX)).collect(),
         };
         let stats = speculative_for(&step, want.len(), granularity);
-        let got: Vec<u32> = step.owner.iter().map(|o| o.load(Ordering::SeqCst)).collect();
+        let got: Vec<u32> = step
+            .owner
+            .iter()
+            .map(|o| o.load(Ordering::SeqCst))
+            .collect();
         assert_eq!(got, expected, "granularity {granularity}");
         assert!(stats.vertex_work >= want.len() as u64);
     }
@@ -106,7 +110,12 @@ fn reservation_backends_agree_with_core_across_pools() {
 #[test]
 fn reservation_mis_handles_adversarial_structures() {
     use greedy_core::ordering::identity_permutation;
-    for graph in [complete_graph(50), star_graph(200), path_graph(300), Graph::empty(20)] {
+    for graph in [
+        complete_graph(50),
+        star_graph(200),
+        path_graph(300),
+        Graph::empty(20),
+    ] {
         let pi = identity_permutation(graph.num_vertices());
         assert_eq!(reservation_mis(&graph, &pi), sequential_mis(&graph, &pi));
         let pi = random_permutation(graph.num_vertices(), 9);

@@ -59,7 +59,10 @@ fn round_trace_accounts_for_every_mis_vertex() {
     let trace = round_trace(&graph, &pi);
     let mis = sequential_mis(&graph, &pi);
     assert_eq!(trace.iter().sum::<usize>(), mis.len());
-    assert!(trace.iter().all(|&r| r > 0), "every round must accept at least one vertex");
+    assert!(
+        trace.iter().all(|&r| r > 0),
+        "every round must accept at least one vertex"
+    );
     // Early rounds accept the bulk of the MIS; the last round is tiny.
     assert!(trace[0] > *trace.last().unwrap());
 }
