@@ -6,12 +6,21 @@
 //! ```text
 //! cargo run --release -p greedy_bench --bin run_all -- --scale small
 //! ```
+//!
+//! In `--quick` mode it additionally times the two setup-phase hot paths the
+//! sort subsystem owns — random-permutation construction and edge-list → CSR
+//! build — and writes them to `results/BENCH_quick.json`. CI uploads that
+//! file as an artifact on every run, giving future PRs a perf trajectory to
+//! compare against.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use greedy_bench::HarnessConfig;
+use greedy_bench::{run_on_threads, secs, time_best_of, HarnessConfig};
+use greedy_graph::csr::Graph;
+use greedy_graph::gen::random::random_edge_list;
+use greedy_prims::permutation::par_random_permutation;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -35,6 +44,10 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
+
+    if cfg.quick {
+        write_quick_bench(&cfg, &out_dir);
+    }
 
     for (bin, graphs) in experiments {
         for graph in *graphs {
@@ -79,4 +92,79 @@ fn main() {
         }
     }
     eprintln!("all experiments written to {}", out_dir.display());
+}
+
+/// One timed entry of the quick-bench trajectory file.
+struct QuickEntry {
+    name: &'static str,
+    threads: usize,
+    n: usize,
+    m: usize,
+    seconds: f64,
+}
+
+/// Times the permutation and CSR-build hot paths at 1 thread and at the
+/// machine's full parallelism, and writes `results/BENCH_quick.json`.
+///
+/// Sizes are fixed (1M-element permutation, 100k/500k uniform graph)
+/// regardless of `--scale`, so the numbers are comparable across runs and
+/// across PRs; at these sizes the whole sweep takes well under a second.
+fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
+    const PERM_N: usize = 1_000_000;
+    const CSR_N: usize = 100_000;
+    const CSR_M: usize = 500_000;
+    let reps = cfg.reps.max(2);
+    let edges = random_edge_list(CSR_N, CSR_M, cfg.seed);
+    let mut entries: Vec<QuickEntry> = Vec::new();
+    for &threads in &cfg.threads {
+        let (perm_time, perm) = run_on_threads(threads, || {
+            time_best_of(reps, || par_random_permutation(PERM_N, cfg.seed))
+        });
+        assert_eq!(perm.len(), PERM_N);
+        entries.push(QuickEntry {
+            name: "par_random_permutation",
+            threads,
+            n: PERM_N,
+            m: 0,
+            seconds: secs(perm_time),
+        });
+        let (csr_time, graph) = run_on_threads(threads, || {
+            time_best_of(reps, || Graph::from_edge_list(&edges))
+        });
+        entries.push(QuickEntry {
+            name: "csr_from_edge_list",
+            threads,
+            n: CSR_N,
+            m: graph.num_edges(),
+            seconds: secs(csr_time),
+        });
+    }
+
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"name\": \"{}\", \"threads\": {}, \"n\": {}, \"m\": {}, \"seconds\": {:.6}}}",
+                e.name, e.threads, e.n, e.m, e.seconds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"seed\": {},\n  \"reps\": {},\n  \"host_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        reps,
+        num_cpus::get(),
+        rows.join(",\n")
+    );
+    let path = out_dir.join("BENCH_quick.json");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("quick perf trajectory written to {}", path.display());
+    for e in &entries {
+        eprintln!(
+            "  {:>24} threads={:<2} {:>9.3} ms",
+            e.name,
+            e.threads,
+            e.seconds * 1e3
+        );
+    }
 }

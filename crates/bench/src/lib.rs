@@ -180,6 +180,9 @@ pub struct HarnessConfig {
     pub reps: usize,
     /// Suppress the human-readable table and print only CSV.
     pub csv_only: bool,
+    /// True when `--quick` smoke-test mode was requested; `run_all` uses this
+    /// to also emit the `BENCH_quick.json` perf-trajectory file.
+    pub quick: bool,
 }
 
 impl Default for HarnessConfig {
@@ -191,6 +194,7 @@ impl Default for HarnessConfig {
             threads: default_thread_sweep(),
             reps: 3,
             csv_only: false,
+            quick: false,
         }
     }
 }
@@ -261,6 +265,7 @@ impl HarnessConfig {
                 "--quick" => {
                     cfg.scale = Scale::Tiny;
                     cfg.reps = 1;
+                    cfg.quick = true;
                     let max = num_cpus::get().max(1);
                     cfg.threads = if max > 1 { vec![1, max] } else { vec![1] };
                 }

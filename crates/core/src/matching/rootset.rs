@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use greedy_graph::edge_list::EdgeList;
 use greedy_prims::permutation::Permutation;
+use greedy_prims::sort::sort_by_key_parallel;
 use rayon::prelude::*;
 
 use crate::stats::WorkStats;
@@ -43,18 +44,34 @@ pub fn rootset_matching_with_stats(edges: &EdgeList, pi: &Permutation) -> (Vec<u
     let rank = pi.rank();
     let mut stats = WorkStats::new();
 
-    // Per-vertex incidence lists sorted by edge priority (earliest first).
-    // Priorities are a random permutation of 0..m, so this is the bucket sort
-    // of Lemma 5.3; here a comparison sort per vertex is equivalent and the
-    // cost is O(m log Δ) once, outside the main loop.
-    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (id, e) in edges.edges().iter().enumerate() {
-        incidence[e.u as usize].push(id as u32);
-        incidence[e.v as usize].push(id as u32);
-    }
-    incidence
-        .par_iter_mut()
-        .for_each(|list| list.sort_unstable_by_key(|&e| rank[e as usize]));
+    // Per-vertex incidence lists sorted by edge priority (earliest first),
+    // stored flat as a CSR-style array: one parallel radix sort of all 2m
+    // arcs by the packed `(vertex, priority)` key groups arcs by vertex *and*
+    // orders each vertex's arcs by rank in the same linear-work pass — the
+    // bucket sort of Lemma 5.3. The key is precomputed into the records
+    // (vertex in the high half, rank in the low half) so each rank lookup
+    // happens once, not once per radix pass.
+    let mut arcs: Vec<(u64, u32)> = (0..m as u32)
+        .into_par_iter()
+        .flat_map_iter(|id| {
+            let e = edges.edge(id as usize);
+            let r = rank[id as usize] as u64;
+            [
+                (((e.u as u64) << 32) | r, id),
+                (((e.v as u64) << 32) | r, id),
+            ]
+        })
+        .collect();
+    sort_by_key_parallel(&mut arcs, |&(k, _)| k);
+    // Arcs are grouped by vertex (the key's high half), so each vertex's
+    // offset is a binary search away — computed in parallel rather than with
+    // a serial counting scan.
+    let inc_offsets: Vec<usize> = (0..(n + 1) as u64)
+        .into_par_iter()
+        .map(|v| arcs.partition_point(|&(k, _)| (k >> 32) < v))
+        .collect();
+    let inc: Vec<u32> = arcs.into_par_iter().map(|(_, e)| e).collect();
+    let incidence = |v: u32| &inc[inc_offsets[v as usize]..inc_offsets[v as usize + 1]];
     stats.edge_work += 2 * m as u64;
 
     // Vertex saturation + per-vertex cursor into its sorted incidence list.
@@ -77,7 +94,7 @@ pub fn rootset_matching_with_stats(edges: &EdgeList, pi: &Permutation) -> (Vec<u
         if vertex_matched[v as usize].load(Ordering::SeqCst) {
             return None;
         }
-        let list = &incidence[v as usize];
+        let list = incidence(v);
         let mut i = cursor[v as usize].load(Ordering::SeqCst);
         let mut scanned = 0u64;
         while i < list.len() && edge_dead(list[i]) {
@@ -127,7 +144,7 @@ pub fn rootset_matching_with_stats(edges: &EdgeList, pi: &Permutation) -> (Vec<u
                 [edge.u, edge.v].into_iter()
             })
             .flat_map_iter(|v| {
-                incidence[v as usize]
+                incidence(v)
                     .iter()
                     .map(move |&f| edges.edge(f as usize).other(v))
             })
@@ -141,7 +158,7 @@ pub fn rootset_matching_with_stats(edges: &EdgeList, pi: &Permutation) -> (Vec<u
                 .iter()
                 .map(|&e| {
                     let edge = edges.edge(e as usize);
-                    (incidence[edge.u as usize].len() + incidence[edge.v as usize].len()) as u64
+                    (incidence(edge.u).len() + incidence(edge.v).len()) as u64
                 })
                 .sum::<u64>(),
             Ordering::Relaxed,

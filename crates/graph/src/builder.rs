@@ -4,6 +4,12 @@
 //! produces a canonical [`EdgeList`] / CSR [`Graph`]. It is the convenient
 //! entry point for examples and for constructing conflict graphs in the
 //! scheduling application, where edges are discovered incrementally.
+//!
+//! Both build paths ([`GraphBuilder::build_edge_list`] via
+//! [`EdgeList::canonicalize`], [`GraphBuilder::build_graph`] via
+//! [`Graph::from_edges`]) bucket their accumulated edges with the parallel
+//! radix sort in `greedy_prims::sort`, so batch-accumulated graphs pay the
+//! same parallel construction cost as the generators.
 
 use crate::csr::Graph;
 use crate::edge_list::{Edge, EdgeList};

@@ -6,6 +6,7 @@
 //! directed arcs `u→v` and `v→u`), adjacencies are sorted, self-loops are
 //! dropped and parallel edges merged during construction.
 
+use greedy_prims::sort::sort_by_key_parallel;
 use rayon::prelude::*;
 
 use crate::edge_list::{Edge, EdgeList};
@@ -83,8 +84,11 @@ impl Graph {
             .flat_map_iter(|e| [(e.u, e.v), (e.v, e.u)])
             .collect();
         // Sorting arcs lexicographically groups them by source and sorts each
-        // adjacency, and makes deduplication a linear pass.
-        arcs.par_sort_unstable();
+        // adjacency, and makes deduplication a linear pass. The parallel LSD
+        // radix sort on the packed `source << 32 | target` key skips digit
+        // passes above the vertex-id width, so this costs ~2·⌈log₂n/11⌉
+        // linear passes rather than a comparison sort.
+        sort_by_key_parallel(&mut arcs, |&(u, v)| ((u as u64) << 32) | v as u64);
         arcs.dedup();
 
         let mut offsets = vec![0usize; num_vertices + 1];

@@ -6,6 +6,7 @@
 //! intermediate form every generator produces before building a CSR
 //! [`crate::csr::Graph`].
 
+use greedy_prims::sort::sort_by_key_parallel;
 use rayon::prelude::*;
 
 /// An undirected edge between two vertices, stored canonically
@@ -61,6 +62,15 @@ impl Edge {
     /// True when the two edges share at least one endpoint.
     pub fn adjacent_to(self, other: Edge) -> bool {
         self.u == other.u || self.u == other.v || self.v == other.u || self.v == other.v
+    }
+
+    /// The edge's endpoints packed into a single `u64` (`u` in the high half),
+    /// so that sorting by this key is exactly the lexicographic `(u, v)`
+    /// order. This is the radix key the parallel sort subsystem uses to
+    /// bucket edges and arcs.
+    #[inline]
+    pub fn sort_key(self) -> u64 {
+        ((self.u as u64) << 32) | self.v as u64
     }
 }
 
@@ -148,7 +158,7 @@ impl EdgeList {
             .filter(|e| !e.is_self_loop())
             .map(|e| e.canonical())
             .collect();
-        self.edges.par_sort_unstable();
+        sort_by_key_parallel(&mut self.edges, |e| e.sort_key());
         self.edges.dedup();
         self
     }

@@ -7,6 +7,7 @@
 //! `m` distinct edges exist (or the graph is complete).
 
 use greedy_prims::random::hash64;
+use greedy_prims::sort::sort_by_key_parallel;
 use rayon::prelude::*;
 
 use crate::csr::Graph;
@@ -52,7 +53,7 @@ pub fn random_edge_list(n: usize, m: usize, seed: u64) -> EdgeList {
             })
             .collect();
         edges.append(&mut new_edges);
-        edges.par_sort_unstable();
+        sort_by_key_parallel(&mut edges, |e| e.sort_key());
         edges.dedup();
         round += 1;
         // For dense targets (close to the complete graph) rejection sampling
@@ -62,15 +63,15 @@ pub fn random_edge_list(n: usize, m: usize, seed: u64) -> EdgeList {
                 .flat_map(|u| ((u + 1)..n as u32).map(move |v| Edge::new(u, v)))
                 .collect();
             // Keep a deterministic pseudo-random subset of size `target`.
-            all.sort_unstable_by_key(|e| hash64(seed, (e.u as u64) << 32 | e.v as u64));
+            sort_by_key_parallel(&mut all, |e| hash64(seed, e.sort_key()));
             all.truncate(target);
-            all.sort_unstable();
+            sort_by_key_parallel(&mut all, |e| e.sort_key());
             edges = all;
             break;
         }
     }
     edges.truncate(target);
-    edges.par_sort_unstable();
+    sort_by_key_parallel(&mut edges, |e| e.sort_key());
     EdgeList::new(n, edges)
 }
 

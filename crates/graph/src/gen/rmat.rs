@@ -13,6 +13,7 @@
 //! below the requested count for very skewed parameter settings.
 
 use greedy_prims::random::{hash64, SplitMix64};
+use greedy_prims::sort::sort_by_key_parallel;
 use rayon::prelude::*;
 
 use crate::csr::Graph;
@@ -86,7 +87,7 @@ pub fn rmat_edge_list(log_n: u32, m: usize, params: RmatParams, seed: u64) -> Ed
             (u != v).then(|| Edge::new(u, v).canonical())
         })
         .collect();
-    edges.par_sort_unstable();
+    sort_by_key_parallel(&mut edges, |e| e.sort_key());
     edges.dedup();
     EdgeList::new(n, edges)
 }

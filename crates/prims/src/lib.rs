@@ -45,6 +45,6 @@ pub mod prelude {
     pub use crate::random::SplitMix64;
     pub use crate::reduce::{par_max, par_min, par_sum};
     pub use crate::scan::{exclusive_scan, exclusive_scan_in_place, inclusive_scan};
-    pub use crate::sort::counting_sort_by_key;
+    pub use crate::sort::{counting_sort_by_key, sort_by_key_parallel};
     pub use crate::util::DEFAULT_GRAIN;
 }

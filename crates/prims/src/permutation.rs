@@ -20,6 +20,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::random::hash64;
+use crate::sort::sort_by_key_parallel;
 
 /// A permutation of `0..n`, stored in both directions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,8 +163,12 @@ pub fn random_permutation(n: usize, seed: u64) -> Permutation {
 
 /// Deterministic parallel random permutation of `0..n`.
 ///
-/// Each element is keyed with `hash64(seed, element)` and elements are sorted
-/// by `(key, element)`. The result is independent of the number of threads.
+/// Each element is keyed with `hash64(seed, element)` and the `(key, element)`
+/// pairs are sorted by key with the parallel LSD radix sort
+/// ([`sort_by_key_parallel`]); since the input is generated in element order
+/// and the sort is stable, key collisions resolve to the lower element —
+/// the same `(key, element)` order as before, without a comparison sort.
+/// The result is independent of the number of threads.
 pub fn par_random_permutation(n: usize, seed: u64) -> Permutation {
     assert!(
         n <= u32::MAX as usize,
@@ -173,7 +178,7 @@ pub fn par_random_permutation(n: usize, seed: u64) -> Permutation {
         .into_par_iter()
         .map(|v| (hash64(seed, v as u64), v))
         .collect();
-    keyed.par_sort_unstable();
+    sort_by_key_parallel(&mut keyed, |&(k, _)| k);
     let order: Vec<u32> = keyed.into_par_iter().map(|(_, v)| v).collect();
     Permutation::from_order(order)
 }

@@ -1,21 +1,52 @@
-//! Sorting primitives: counting sort, bucket sort by key, and a parallel
-//! sort-by-key wrapper.
+//! Sorting subsystem: parallel LSD radix sort, counting sort, bucket sort,
+//! and the stable parallel sort-by-key entry point.
 //!
 //! The maximal-matching implementation keeps each vertex's incidence list
 //! sorted by edge priority (Section 5 of the paper: "we maintain for each
 //! vertex an array of its incident edges sorted by priority"); since the
 //! priorities are a random permutation of `0..m`, a counting/bucket sort does
 //! this in linear work, which is what Lemma 5.3 requires. Graph construction
-//! (edge list → CSR) also bucket-sorts edges by source vertex.
-
-use rayon::prelude::*;
+//! (edge list → CSR) bucket-sorts arcs by source vertex, and the random
+//! priority permutation itself is a sort of `(hash, element)` pairs.
+//!
+//! All of those hot paths funnel through [`sort_by_key_parallel`], which
+//! dispatches to the parallel LSD radix sort in [`radix`] — linear work per
+//! digit pass, stable, and thread-count independent. The small-universe
+//! helpers ([`counting_sort_by_key`], [`bucket_by_key`]) remain for callers
+//! that already know their key range.
 
 use crate::scan::exclusive_scan_in_place;
-use crate::util::SEQUENTIAL_CUTOFF;
+
+pub mod radix;
+
+pub use radix::par_radix_sort_by_key;
+
+/// Stable parallel sort of `items` by a `u64` key.
+///
+/// This is the workhorse behind permutation construction, edge-list → CSR
+/// bucketing, and incidence-list ordering. It dispatches to the parallel LSD
+/// radix sort ([`par_radix_sort_by_key`]) above the sequential cutoff and to
+/// `std`'s stable sort below it. Guarantees, at every size and thread count:
+///
+/// * **stable** — records with equal keys keep their input order;
+/// * **deterministic** — the output is the unique stable order by `key`, so
+///   it is byte-identical across thread counts.
+pub fn sort_by_key_parallel<T, F>(items: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync,
+{
+    par_radix_sort_by_key(items, key);
+}
 
 /// Stable counting sort of `items` by `key(item) ∈ 0..num_keys`.
 ///
 /// Runs in `O(items.len() + num_keys)` time. Returns the sorted vector.
+///
+/// # Panics
+/// Panics if any `key(item) >= num_keys`; the key range is part of the
+/// contract, and a silent clamp or skip would corrupt downstream offset
+/// arithmetic.
 ///
 /// ```
 /// use greedy_prims::sort::counting_sort_by_key;
@@ -30,7 +61,7 @@ where
     let mut counts = vec![0usize; num_keys];
     for item in items {
         let k = key(item) as usize;
-        debug_assert!(
+        assert!(
             k < num_keys,
             "counting_sort_by_key: key {k} >= num_keys {num_keys}"
         );
@@ -54,6 +85,10 @@ where
 /// inside each bucket (stable). Returns `(bucketed_items, offsets)` where
 /// bucket `b` occupies `bucketed_items[offsets[b]..offsets[b+1]]`.
 ///
+/// # Panics
+/// Panics if any `key(item) >= num_buckets` (same contract as
+/// [`counting_sort_by_key`]).
+///
 /// ```
 /// use greedy_prims::sort::bucket_by_key;
 /// let (items, offsets) = bucket_by_key(&[5u32, 11, 7, 12], 2, |&x| if x < 10 { 0 } else { 1 });
@@ -68,7 +103,7 @@ where
     let mut counts = vec![0usize; num_buckets + 1];
     for item in items {
         let k = key(item) as usize;
-        debug_assert!(
+        assert!(
             k < num_buckets,
             "bucket_by_key: key {k} >= num_buckets {num_buckets}"
         );
@@ -89,20 +124,6 @@ where
         }
     }
     (out, offsets)
-}
-
-/// Parallel stable sort of `items` by a `u64` key. For inputs below the
-/// sequential cutoff this is an ordinary stable sort. Deterministic.
-pub fn par_sort_by_key<T, F>(items: &mut [T], key: F)
-where
-    T: Copy + Send + Sync,
-    F: Fn(&T) -> u64 + Send + Sync,
-{
-    if items.len() < SEQUENTIAL_CUTOFF {
-        items.sort_by_key(|x| key(x));
-    } else {
-        items.par_sort_by_key(|x| key(x));
-    }
 }
 
 /// Checks whether `items` is sorted according to `key` (non-decreasing).
@@ -141,6 +162,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "counting_sort_by_key: key 5 >= num_keys 5")]
+    fn counting_sort_rejects_out_of_range_key() {
+        counting_sort_by_key(&[0u32, 5, 1], 5, |&x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_by_key: key 9 >= num_buckets 4")]
+    fn bucket_by_key_rejects_out_of_range_key() {
+        bucket_by_key(&[1u32, 9], 4, |&x| x);
+    }
+
+    #[test]
     fn bucket_by_key_offsets_consistent() {
         let items: Vec<u32> = (0..1000).map(|i| (i * 7 % 50) as u32).collect();
         let (bucketed, offsets) = bucket_by_key(&items, 50, |&x| x);
@@ -162,12 +195,22 @@ mod tests {
     }
 
     #[test]
-    fn par_sort_matches_sequential() {
+    fn sort_by_key_parallel_matches_sequential() {
         let mut a: Vec<u64> = (0..60_000).map(|i| i * 2654435761 % 100_000).collect();
         let mut b = a.clone();
         a.sort();
-        par_sort_by_key(&mut b, |&x| x);
+        sort_by_key_parallel(&mut b, |&x| x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_by_key_parallel_agrees_with_counting_sort_at_boundary_key() {
+        // Every key equal to num_keys - 1: the counting sort's last bucket.
+        let items: Vec<(u32, u32)> = (0..5_000u32).map(|i| (99, i)).collect();
+        let counted = counting_sort_by_key(&items, 100, |&(k, _)| k);
+        let mut parallel = items.clone();
+        sort_by_key_parallel(&mut parallel, |&(k, _)| k as u64);
+        assert_eq!(counted, parallel);
     }
 
     #[test]
@@ -196,6 +239,29 @@ mod tests {
             let (bucketed, offsets) = bucket_by_key(&items, 32, |&x| x);
             prop_assert_eq!(bucketed.len(), items.len());
             prop_assert_eq!(*offsets.last().unwrap(), items.len());
+        }
+
+        // Both sorts are stable, so on any in-range input they must agree
+        // exactly — including keys at the top of the range (num_keys - 1,
+        // here 199, which the half-open strategy bound 0..200 does generate).
+        #[test]
+        fn prop_parallel_sort_agrees_with_counting_sort(
+            items in proptest::collection::vec((0u32..200, any::<u32>()), 0..3000)
+        ) {
+            let counted = counting_sort_by_key(&items, 200, |&(k, _)| k);
+            let mut parallel = items.clone();
+            sort_by_key_parallel(&mut parallel, |&(k, _)| k as u64);
+            prop_assert_eq!(counted, parallel);
+        }
+
+        #[test]
+        fn prop_parallel_sort_agrees_with_counting_sort_tiny_range(
+            items in proptest::collection::vec((0u32..2, any::<u32>()), 0..2500)
+        ) {
+            let counted = counting_sort_by_key(&items, 2, |&(k, _)| k);
+            let mut parallel = items.clone();
+            sort_by_key_parallel(&mut parallel, |&(k, _)| k as u64);
+            prop_assert_eq!(counted, parallel);
         }
     }
 }

@@ -54,6 +54,47 @@ pub fn default_num_blocks() -> usize {
     rayon::current_num_threads().saturating_mul(8).max(1)
 }
 
+/// Applies `f` to every coarse task in `tasks`, in parallel, returning the
+/// results in task order.
+///
+/// This is the fork–join fan-out for *blocked* algorithms (scan, radix sort,
+/// sample sort) that hand out a handful of tasks — typically a small multiple
+/// of the thread count — where each task is a large contiguous block of work.
+/// `par_iter` over such a short task list does not split (its grain size is
+/// tuned for per-element work), so this helper recurses with [`rayon::join`]
+/// instead. Forking stops once the current thread budget
+/// ([`rayon::current_num_threads`]) is exhausted, so a `t`-thread pool never
+/// runs more than `t` tasks concurrently even when given `4t` tasks —
+/// thread-count-labeled measurements stay honest.
+pub fn par_map_blocks<I, R, F>(tasks: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    par_map_blocks_bounded(tasks, f, rayon::current_num_threads())
+}
+
+fn par_map_blocks_bounded<I, R, F>(mut tasks: Vec<I>, f: &F, budget: usize) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    if tasks.len() <= 1 || budget <= 1 {
+        return tasks.into_iter().map(f).collect();
+    }
+    let right = tasks.split_off(tasks.len() / 2);
+    let right_budget = budget / 2;
+    let left_budget = budget - right_budget;
+    let (mut a, b) = rayon::join(
+        || par_map_blocks_bounded(tasks, f, left_budget),
+        || par_map_blocks_bounded(right, f, right_budget),
+    );
+    a.extend(b);
+    a
+}
+
 /// Rounds `x` up to the next power of two (saturating at `usize::MAX/2 + 1`).
 ///
 /// ```
@@ -133,5 +174,43 @@ mod tests {
     #[test]
     fn default_num_blocks_positive() {
         assert!(default_num_blocks() >= 1);
+    }
+
+    #[test]
+    fn par_map_blocks_preserves_task_order() {
+        for threads in [1usize, 2, 3, 7] {
+            let got = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| par_map_blocks((0..37usize).collect(), &|i| i * i));
+            let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_blocks_never_exceeds_thread_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let threads = 3;
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                par_map_blocks((0..32usize).collect(), &|_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            });
+        assert!(
+            peak.load(Ordering::SeqCst) <= threads,
+            "observed {} concurrent tasks under a {threads}-thread pool",
+            peak.load(Ordering::SeqCst)
+        );
     }
 }

@@ -12,7 +12,7 @@ use greedy_prims::scan::{
     exclusive_scan, exclusive_scan_in_place, inclusive_scan, par_exclusive_scan,
     par_exclusive_scan_in_place,
 };
-use greedy_prims::sort::{counting_sort_by_key, is_sorted_by_key, par_sort_by_key};
+use greedy_prims::sort::{counting_sort_by_key, is_sorted_by_key, sort_by_key_parallel};
 
 const BIG: usize = 100_000;
 
@@ -72,8 +72,13 @@ fn par_sort_equals_sequential_sort() {
         let mut seq = data.clone();
         let mut par = data.clone();
         seq.sort_unstable();
-        par_sort_by_key(&mut par, |&x| x);
-        assert_eq!(seq, par, "par_sort_by_key diverged on len {}", data.len());
+        sort_by_key_parallel(&mut par, |&x| x);
+        assert_eq!(
+            seq,
+            par,
+            "sort_by_key_parallel diverged on len {}",
+            data.len()
+        );
         assert!(is_sorted_by_key(&par, |&x| x));
     }
 }

@@ -29,9 +29,12 @@
 //!
 //! * `zip` and `enumerate` materialize their input (they are only applied
 //!   directly to cheap sources in this workspace);
-//! * `par_sort_unstable` / `par_sort_by_key` sort chunks in parallel and then
-//!   k-way merge sequentially, and require `T: Copy` (all keys sorted in this
-//!   workspace are small `Copy` tuples).
+//! * `par_sort_unstable` / `par_sort_by_key` require `T: Copy` (all keys
+//!   sorted in this workspace are small `Copy` tuples). Both run a parallel
+//!   **sample sort** — oversampled splitters, a stable parallel bucket
+//!   scatter, then independent per-bucket sorts — so every phase
+//!   parallelizes; there is no sequential merge. The output is the unique
+//!   stable order under the comparator, hence thread-count independent.
 
 use std::cell::Cell;
 use std::cmp::Ordering as CmpOrdering;
@@ -637,12 +640,14 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over `&mut T`.
     fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
-    /// Sorts in parallel (unstable). The shim requires `T: Copy` (chunk sort
-    /// plus k-way merge through a scratch buffer).
+    /// Sorts in parallel via sample sort. The shim requires `T: Copy`
+    /// (scatter and copy-back go through a scratch buffer). The result is the
+    /// stable order, which for a total order on `T` is simply sorted order.
     fn par_sort_unstable(&mut self)
     where
         T: Ord + Copy + Sync;
-    /// Sorts in parallel by a key function. Same `T: Copy` caveat.
+    /// Stable parallel sort by a key function (sample sort; same `T: Copy`
+    /// caveat). Matches real rayon's `par_sort_by_key` stability promise.
     fn par_sort_by_key<K, F>(&mut self, key: F)
     where
         T: Copy + Sync,
@@ -677,7 +682,7 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         T: Ord + Copy + Sync,
     {
-        par_merge_sort(self, |a, b| a.cmp(b));
+        par_sample_sort(self, |a, b| a.cmp(b));
     }
 
     fn par_sort_by_key<K, F>(&mut self, key: F)
@@ -686,52 +691,112 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         K: Ord,
         F: Fn(&T) -> K + Sync,
     {
-        par_merge_sort(self, |a, b| key(a).cmp(&key(b)));
+        par_sample_sort(self, |a, b| key(a).cmp(&key(b)));
     }
 }
 
-fn par_merge_sort<T, C>(data: &mut [T], cmp: C)
+/// How many candidate splitters to draw per bucket. More oversampling gives
+/// better-balanced buckets at the cost of a slightly larger (still tiny)
+/// sample sort.
+const OVERSAMPLE: usize = 16;
+
+/// Below this length a sequential stable sort beats any parallel setup.
+const SAMPLE_SORT_CUTOFF: usize = 4096;
+
+/// Stable parallel sample sort.
+///
+/// Phases, each parallel over the worker pool:
+///
+/// 1. **splitters** — `buckets × OVERSAMPLE` evenly spaced elements are
+///    sorted (they are few) and every `OVERSAMPLE`-th one becomes a splitter;
+///    evenly spaced sampling is deterministic in the input, needing no RNG.
+/// 2. **scatter** — each input part counts, then writes, its elements into
+///    per-`(bucket, part)` sub-slices of a scratch buffer, laid out
+///    bucket-major and part-minor. Parts write disjoint sub-slices (no
+///    synchronization, no `unsafe`), and walking each part in input order
+///    makes the scatter stable per bucket.
+/// 3. **per-bucket sort** — buckets are contiguous in scratch and
+///    independent, so they sort in parallel with `std`'s stable sort.
+///
+/// Elements equal under `cmp` land in the same bucket (an element's bucket is
+/// the number of splitters strictly less than it), so stable scatter +
+/// stable bucket sort + bucket concatenation is a stable sort overall. The
+/// output is therefore the unique stable order under `cmp`: identical at
+/// every thread count, even though splitters and part boundaries differ.
+fn par_sample_sort<T, C>(data: &mut [T], cmp: C)
 where
     T: Copy + Send + Sync,
     C: Fn(&T, &T) -> CmpOrdering + Sync,
 {
     let len = data.len();
-    let pieces = split_count(len);
-    if pieces <= 1 {
-        data.sort_unstable_by(&cmp);
+    let threads = current_num_threads();
+    let buckets = threads * 2;
+    if threads <= 1 || len < SAMPLE_SORT_CUTOFF.max(buckets * OVERSAMPLE * 4) {
+        data.sort_by(|a, b| cmp(a, b));
         return;
     }
-    // Sort chunks in parallel, in place.
-    let chunk = len.div_ceil(pieces).max(1);
-    let parts = split_mut(data, chunk);
-    run_parts(parts, |s: &mut [T]| s.sort_unstable_by(&cmp));
 
-    // K-way merge the sorted runs through a scratch buffer. Ties between
-    // runs resolve to the lower run index, which together with the fixed
-    // part boundaries keeps the merge deterministic. The merge is
-    // sequential: with ~4×threads runs a linear scan per output element is
-    // O(n·pieces) worst case but in practice a small fraction of the chunk
-    // sorts, and it sidesteps wrapping the comparator in an `Ord` impl.
-    let mut cursors: Vec<(usize, usize)> = part_bounds(len).into_iter().collect();
-    let mut scratch: Vec<T> = Vec::with_capacity(len);
-    for _ in 0..len {
-        let mut best: Option<usize> = None;
-        for (r, &(pos, end)) in cursors.iter().enumerate() {
-            if pos >= end {
-                continue;
-            }
-            let better = match best {
-                None => true,
-                Some(b) => cmp(&data[pos], &data[cursors[b].0]) == CmpOrdering::Less,
-            };
-            if better {
-                best = Some(r);
-            }
+    // Phase 1: oversampled, evenly spaced splitter candidates.
+    let step = len / (buckets * OVERSAMPLE);
+    let mut sample: Vec<T> = (0..buckets * OVERSAMPLE)
+        .map(|i| data[i * step + step / 2])
+        .collect();
+    sample.sort_by(|a, b| cmp(a, b));
+    let splitters: Vec<T> = (1..buckets).map(|b| sample[b * OVERSAMPLE]).collect();
+    let bucket_of =
+        |x: &T| -> usize { splitters.partition_point(|s| cmp(s, x) == CmpOrdering::Less) };
+
+    // Phase 2a: per-part bucket histograms.
+    let input: &[T] = data;
+    let bounds = part_bounds(len);
+    let counts: Vec<Vec<usize>> = run_parts(bounds.clone(), |(s, e)| {
+        let mut c = vec![0usize; buckets];
+        for item in &input[s..e] {
+            c[bucket_of(item)] += 1;
         }
-        let b = best.expect("merge ran out of elements early");
-        scratch.push(data[cursors[b].0]);
-        cursors[b].0 += 1;
+        c
+    });
+
+    // Phase 2b: carve the scratch buffer into per-(bucket, part) sub-slices,
+    // bucket-major and part-minor — the exclusive scan of the count matrix,
+    // realized as disjoint slices.
+    let mut scratch: Vec<T> = input.to_vec();
+    let bucket_sizes: Vec<usize> = (0..buckets)
+        .map(|b| counts.iter().map(|c| c[b]).sum())
+        .collect();
+    let mut per_part: Vec<Vec<&mut [T]>> = (0..bounds.len())
+        .map(|_| Vec::with_capacity(buckets))
+        .collect();
+    let mut rest: &mut [T] = &mut scratch;
+    for b in 0..buckets {
+        for (part, c) in counts.iter().enumerate() {
+            let (seg, tail) = rest.split_at_mut(c[b]);
+            per_part[part].push(seg);
+            rest = tail;
+        }
     }
+
+    // Phase 2c: scatter, each part replaying its input range in order.
+    type ScatterTask<'a, T> = ((usize, usize), Vec<&'a mut [T]>);
+    let tasks: Vec<ScatterTask<'_, T>> = bounds.into_iter().zip(per_part).collect();
+    run_parts(tasks, |((s, e), mut segs): ScatterTask<'_, T>| {
+        let mut cursor = vec![0usize; buckets];
+        for item in &input[s..e] {
+            let b = bucket_of(item);
+            segs[b][cursor[b]] = *item;
+            cursor[b] += 1;
+        }
+    });
+
+    // Phase 3: sort each bucket independently, then copy back.
+    let mut bucket_slices: Vec<&mut [T]> = Vec::with_capacity(buckets);
+    let mut rest: &mut [T] = &mut scratch;
+    for &size in &bucket_sizes {
+        let (seg, tail) = rest.split_at_mut(size);
+        bucket_slices.push(seg);
+        rest = tail;
+    }
+    run_parts(bucket_slices, |s: &mut [T]| s.sort_by(|a, b| cmp(a, b)));
     data.copy_from_slice(&scratch);
 }
 
@@ -833,6 +898,54 @@ mod tests {
         let ka: Vec<u64> = a.iter().map(|&(k, _)| k).collect();
         let kb: Vec<u64> = b.iter().map(|&(k, _)| k).collect();
         assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn sample_sort_is_stable_and_thread_count_independent() {
+        // Duplicate-heavy keys with distinguishable payloads: stability means
+        // the result must equal std's stable sort exactly, at every pool size.
+        let data: Vec<(u64, u32)> = (0..150_000u32)
+            .map(|i| ((i as u64 * 31) % 997, i))
+            .collect();
+        let mut expected = data.clone();
+        expected.sort_by_key(|&(k, _)| k);
+        for threads in [2usize, 3, 7] {
+            let mut got = data.clone();
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| got.par_sort_by_key(|&(k, _)| k));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sample_sort_unstable_matches_std_under_pool() {
+        let data: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let mut got = data;
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| got.par_sort_unstable());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sample_sort_all_equal_under_pool() {
+        let mut data = vec![7u64; 100_000];
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| data.par_sort_unstable());
+        assert!(data.iter().all(|&x| x == 7));
+        assert_eq!(data.len(), 100_000);
     }
 
     #[test]

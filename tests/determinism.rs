@@ -84,6 +84,113 @@ fn generators_are_thread_count_independent() {
     assert_eq!(a, b, "permutation must not depend on thread count");
 }
 
+/// Thread counts the sort-subsystem determinism tests sweep: 1, 2, 3, 7, and
+/// whatever this machine reports as its available parallelism.
+fn sweep_threads() -> Vec<usize> {
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut t = vec![1, 2, 3, 7, machine];
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+#[test]
+fn par_random_permutation_is_byte_identical_across_thread_counts() {
+    let reference = in_pool(1, || {
+        greedy_prims::permutation::par_random_permutation(50_000, 17)
+    });
+    for threads in sweep_threads() {
+        let p = in_pool(threads, || {
+            greedy_prims::permutation::par_random_permutation(50_000, 17)
+        });
+        assert_eq!(
+            p.order(),
+            reference.order(),
+            "permutation order changed with {threads} threads"
+        );
+        assert_eq!(
+            p.rank(),
+            reference.rank(),
+            "permutation rank changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn csr_build_is_byte_identical_across_thread_counts() {
+    // Generate the raw edges once, outside any pool, then build CSR at every
+    // pool size: offsets and neighbor arrays must match exactly.
+    let edges = greedy_graph::gen::random::random_edge_list(20_000, 80_000, 23);
+    let reference = in_pool(1, || greedy_graph::csr::Graph::from_edge_list(&edges));
+    for threads in sweep_threads() {
+        let g = in_pool(threads, || greedy_graph::csr::Graph::from_edge_list(&edges));
+        assert_eq!(
+            g.offsets(),
+            reference.offsets(),
+            "CSR offsets changed with {threads} threads"
+        );
+        assert_eq!(
+            g.neighbor_array(),
+            reference.neighbor_array(),
+            "CSR neighbors changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_sorts_are_byte_identical_across_thread_counts() {
+    use greedy_prims::random::hash64;
+    use greedy_prims::sort::sort_by_key_parallel;
+    use rayon::prelude::*;
+
+    // Duplicate-heavy keyed records: stability makes the answer unique, so
+    // every thread count must produce the same bytes.
+    let input: Vec<(u64, u32)> = (0..120_000u32)
+        .map(|i| (hash64(5, i as u64) % 997, i))
+        .collect();
+    let radix_ref = in_pool(1, || {
+        let mut v = input.clone();
+        sort_by_key_parallel(&mut v, |&(k, _)| k);
+        v
+    });
+    let shim_ref = in_pool(1, || {
+        let mut v = input.clone();
+        v.par_sort_by_key(|&(k, _)| k);
+        v
+    });
+    assert_eq!(radix_ref, shim_ref, "radix and sample sort disagree");
+    for threads in sweep_threads() {
+        let radix = in_pool(threads, || {
+            let mut v = input.clone();
+            sort_by_key_parallel(&mut v, |&(k, _)| k);
+            v
+        });
+        assert_eq!(
+            radix, radix_ref,
+            "radix sort changed with {threads} threads"
+        );
+        let shim = in_pool(threads, || {
+            let mut v = input.clone();
+            v.par_sort_by_key(|&(k, _)| k);
+            v
+        });
+        assert_eq!(shim, shim_ref, "sample sort changed with {threads} threads");
+        let unstable = in_pool(threads, || {
+            let mut v = input.clone();
+            v.par_sort_unstable();
+            v
+        });
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        assert_eq!(
+            unstable, expected,
+            "par_sort_unstable changed with {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn spanning_forest_is_prefix_and_thread_independent() {
     let edges = random_graph(2_000, 6_000, 13).to_edge_list();
