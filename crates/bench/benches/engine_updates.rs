@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the batch-dynamic engine: batch ingestion
+//! (graph + MIS + matching repair) against the from-scratch recompute it
+//! replaces, across batch sizes. Deletions are sampled from the engine's
+//! live graph (see [`engine_mixed_batch`]) so the delete paths are really
+//! measured; batch construction itself is O(batch) and stays in the timed
+//! region as part of the serving cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use greedy_bench::engine_mixed_batch;
+use greedy_engine::prelude::*;
+use greedy_graph::gen::random::random_graph;
+
+const N: usize = 100_000;
+const M: usize = 500_000;
+
+fn bench_apply_batch(c: &mut Criterion) {
+    let base = random_graph(N, M, 3);
+    let mut group = c.benchmark_group("engine/apply_batch");
+    group.sample_size(10);
+    for batch_size in [100u64, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(batch_size + batch_size / 2));
+        group.bench_function(BenchmarkId::from_parameter(batch_size), |b| {
+            let mut engine = Engine::from_graph(&base, 7);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let batch = engine_mixed_batch(&engine, round, batch_size, batch_size / 2);
+                black_box(engine.apply_batch(&batch))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_from_scratch(c: &mut Criterion) {
+    // The baseline a dynamic engine must beat: rebuilding engine state from
+    // scratch after every batch.
+    let base = random_graph(N, M, 3);
+    let mut group = c.benchmark_group("engine/batch_vs_scratch");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("incremental_1k"), |b| {
+        let mut engine = Engine::from_graph(&base, 7);
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let batch = engine_mixed_batch(&engine, round, 1_000, 500);
+            black_box(engine.apply_batch(&batch))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("from_scratch"), |b| {
+        b.iter(|| black_box(Engine::from_graph(&base, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply_batch, bench_vs_from_scratch);
+criterion_main!(benches);

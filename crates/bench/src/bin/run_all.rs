@@ -17,9 +17,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use greedy_bench::{run_on_threads, secs, time_best_of, HarnessConfig};
+use greedy_bench::{engine_mixed_batch, run_on_threads, secs, time_best_of, HarnessConfig};
+use greedy_engine::prelude::Engine;
 use greedy_graph::csr::Graph;
-use greedy_graph::gen::random::random_edge_list;
+use greedy_graph::gen::random::{random_edge_list, random_graph};
 use greedy_prims::permutation::par_random_permutation;
 
 fn main() {
@@ -103,16 +104,20 @@ struct QuickEntry {
     seconds: f64,
 }
 
-/// Times the permutation and CSR-build hot paths at 1 thread and at the
-/// machine's full parallelism, and writes `results/BENCH_quick.json`.
+/// Times the permutation and CSR-build hot paths plus the batch-dynamic
+/// engine's batch-update path at 1 thread and at the machine's full
+/// parallelism, and writes `results/BENCH_quick.json`.
 ///
-/// Sizes are fixed (1M-element permutation, 100k/500k uniform graph)
-/// regardless of `--scale`, so the numbers are comparable across runs and
-/// across PRs; at these sizes the whole sweep takes well under a second.
+/// Sizes are fixed (1M-element permutation, 100k/500k uniform graph, 1k-edge
+/// engine batches) regardless of `--scale`, so the numbers are comparable
+/// across runs and across PRs; at these sizes the whole sweep takes a few
+/// seconds.
 fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
     const PERM_N: usize = 1_000_000;
     const CSR_N: usize = 100_000;
     const CSR_M: usize = 500_000;
+    const ENGINE_BATCH: u64 = 1_000;
+    const ENGINE_ROUNDS: u64 = 5;
     let reps = cfg.reps.max(2);
     let edges = random_edge_list(CSR_N, CSR_M, cfg.seed);
     let mut entries: Vec<QuickEntry> = Vec::new();
@@ -137,6 +142,29 @@ fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
             n: CSR_N,
             m: graph.num_edges(),
             seconds: secs(csr_time),
+        });
+        // Batch-dynamic engine: a *fixed* stream of mixed batches (1k hashed
+        // inserts + 500 deletes sampled from the live graph) applied to a
+        // maintained 100k/500k graph; reported as mean seconds per batch.
+        // The stream is the same regardless of `--reps` (each batch mutates
+        // the engine, so best-of over reps would compare different
+        // workloads), keeping the entry comparable across runs and PRs.
+        let (engine_time, engine_edges) = run_on_threads(threads, || {
+            let base = random_graph(CSR_N, CSR_M, cfg.seed);
+            let mut engine = Engine::from_graph(&base, cfg.seed);
+            let start = std::time::Instant::now();
+            for round in 1..=ENGINE_ROUNDS {
+                let batch = engine_mixed_batch(&engine, round, ENGINE_BATCH, ENGINE_BATCH / 2);
+                engine.apply_batch(&batch);
+            }
+            (start.elapsed() / ENGINE_ROUNDS as u32, engine.num_edges())
+        });
+        entries.push(QuickEntry {
+            name: "engine_apply_batch_1500",
+            threads,
+            n: CSR_N,
+            m: engine_edges,
+            seconds: secs(engine_time),
         });
     }
 

@@ -24,10 +24,12 @@
 
 use std::time::{Duration, Instant};
 
+use greedy_engine::prelude::{EdgeBatch, Engine};
 use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::EdgeList;
 use greedy_graph::gen::random::random_edge_list;
 use greedy_graph::gen::rmat::{rmat_edge_list, RmatParams};
+use greedy_prims::random::hash64;
 
 /// Which of the paper's two inputs to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,6 +288,31 @@ impl HarnessConfig {
         );
         cfg
     }
+}
+
+/// A deterministic mixed engine batch: `inserts` hashed endpoint pairs plus
+/// `deletes` edges sampled from the engine's *current* graph (random vertex,
+/// random incident neighbor — O(1) per sample), so the deletions actually
+/// exercise the delete-merge and deletion-repair paths instead of being
+/// filtered out as absent.
+pub fn engine_mixed_batch(engine: &Engine, round: u64, inserts: u64, deletes: u64) -> EdgeBatch {
+    let n = engine.num_vertices() as u64;
+    let mut batch = EdgeBatch::new();
+    for i in 0..inserts {
+        batch.insert(
+            (hash64(round, 2 * i) % n) as u32,
+            (hash64(round, 2 * i + 1) % n) as u32,
+        );
+    }
+    for i in 0..deletes {
+        let x = (hash64(round ^ 0xD00D, 2 * i) % n) as u32;
+        let adj = engine.graph().neighbors(x);
+        if !adj.is_empty() {
+            let w = adj[(hash64(round ^ 0xD00D, 2 * i + 1) % adj.len() as u64) as usize];
+            batch.delete(x, w);
+        }
+    }
+    batch
 }
 
 /// Runs `f` `reps` times and returns the best (minimum) wall-clock duration

@@ -1,0 +1,356 @@
+//! The priority-DAG abstraction behind the round-synchronous greedy
+//! algorithms, exposed as a reusable trait.
+//!
+//! Both problems in this workspace are instances of one scheme: items carry
+//! fixed random priorities, items conflict pairwise, and the greedy rule is
+//! *"an item is accepted iff none of its earlier conflicting items is
+//! accepted"*. For MIS the items are vertices and conflicts are edges; for
+//! maximal matching the items are edges and conflicts are shared endpoints
+//! (MIS on the line graph). The fixed priorities induce a DAG over conflicts
+//! (earlier item → later item), and the greedy result is the unique fixed
+//! point of the rule — the lexicographically-first MIS of the conflict graph.
+//!
+//! [`ConflictDag`] captures exactly that structure, and
+//! [`repair_fixed_point`] is the round machinery of Algorithm 2 generalized
+//! to start from *any* consistent partial state: given a set of items whose
+//! decisions may have become stale (because conflicts were added or removed),
+//! it re-decides them in priority order, in synchronous rounds, propagating
+//! to later conflicting items whenever a decision flips, until the fixed
+//! point is reached.
+//!
+//! Two ways to use it:
+//!
+//! * **from scratch** — seed every item with all decisions `false`; the run
+//!   is then exactly the rounds algorithm (each round decides the items none
+//!   of whose earlier conflicts are still pending), and the number of rounds
+//!   is the dependence length of the DAG;
+//! * **incrementally** — keep the previous fixed point, seed only the items
+//!   touched by a batch of conflict insertions/deletions. This is what the
+//!   batch-dynamic `greedy_engine` crate does; the repaired state is provably
+//!   equal to a from-scratch run on the updated conflict structure (changes
+//!   can only propagate from an item to *later* items, so re-deciding the
+//!   seeds and their downstream suffices).
+//!
+//! Every parallel step is deterministic (order-preserving parallel maps, no
+//! data races), so the repaired state is byte-identical across thread counts.
+
+use rayon::prelude::*;
+
+/// A set of items with fixed priorities and a symmetric conflict relation.
+///
+/// Implementors provide the *structure*; the greedy rule itself lives in
+/// [`repair_fixed_point`]. Priorities must be a total order (ties broken by
+/// the second component) that does not change while a repair is running.
+pub trait ConflictDag: Sync {
+    /// Number of items. Items are dense ids `0..len()`.
+    fn len(&self) -> usize;
+
+    /// True when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The priority key of `item`; lexicographically smaller = earlier
+    /// (decided first). Must be distinct across items — pair a random hash
+    /// with the item id to break ties.
+    fn priority(&self, item: u32) -> (u64, u32);
+
+    /// Calls `f` on every item conflicting with `item` (both earlier and
+    /// later ones; the driver filters by priority).
+    fn for_each_conflict(&self, item: u32, f: &mut dyn FnMut(u32));
+}
+
+/// Work counters reported by [`repair_fixed_point`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Synchronous rounds until the fixed point (the dependence length of
+    /// the affected sub-DAG).
+    pub rounds: u64,
+    /// Item re-decisions performed (an item may be re-decided more than once
+    /// when a stale earlier conflict settles after it).
+    pub decided: u64,
+    /// Decision flips applied (size of the gross change stream, not the net
+    /// changed set).
+    pub flips: u64,
+}
+
+/// Re-decides `seeds` (and everything downstream of any decision flip) under
+/// the greedy rule, mutating `accepted` in place until the fixed point.
+///
+/// Returns the **net** changed items — those whose final decision differs
+/// from their decision on entry — sorted ascending, plus work counters.
+///
+/// Correctness contract: on entry, every item *not* in `seeds` must already
+/// hold the greedy fixed-point decision for the current conflict structure
+/// unless one of its earlier conflicts is seeded. Seeding every endpoint of
+/// each inserted/deleted conflict satisfies this, as does seeding all items
+/// over an all-`false` state (the from-scratch run).
+///
+/// # Panics
+/// Panics if `accepted.len() != dag.len()` or a seed id is out of range.
+pub fn repair_fixed_point<D: ConflictDag>(
+    dag: &D,
+    accepted: &mut [bool],
+    seeds: &[u32],
+) -> (Vec<u32>, RepairStats) {
+    let n = dag.len();
+    assert_eq!(
+        accepted.len(),
+        n,
+        "repair_fixed_point: state covers {} items but the DAG has {n}",
+        accepted.len()
+    );
+
+    let mut stats = RepairStats::default();
+    let mut pending_flag = vec![false; n];
+    let mut pending: Vec<u32> = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        assert!(
+            (s as usize) < n,
+            "repair_fixed_point: seed {s} out of range"
+        );
+        if !pending_flag[s as usize] {
+            pending_flag[s as usize] = true;
+            pending.push(s);
+        }
+    }
+
+    // First-touch snapshot, so the net changed set can be computed without
+    // copying the whole state: `touched[i]` pairs an item with its decision
+    // before its first re-decision in this repair.
+    let mut touched_flag = vec![false; n];
+    let mut touched: Vec<(u32, bool)> = Vec::new();
+
+    while !pending.is_empty() {
+        stats.rounds += 1;
+
+        // An item is ready when no *earlier* conflicting item is still
+        // pending: its earlier conflicts cannot change this round, so its
+        // decision reads a settled frontier. At least the globally earliest
+        // pending item is always ready, so every round makes progress.
+        let pending_flag_ref = &pending_flag;
+        let ready: Vec<u32> = pending
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                let pv = dag.priority(v);
+                let mut has_earlier_pending = false;
+                dag.for_each_conflict(v, &mut |w| {
+                    if pending_flag_ref[w as usize] && dag.priority(w) < pv {
+                        has_earlier_pending = true;
+                    }
+                });
+                !has_earlier_pending
+            })
+            .collect();
+
+        // Greedy rule, computed in parallel against the pre-round state. Two
+        // ready items are never earlier/later conflicts of one another (the
+        // earlier one would have blocked the later one's readiness), so the
+        // reads are race-free even conceptually.
+        let accepted_ref = &*accepted;
+        let decisions: Vec<bool> = ready
+            .par_iter()
+            .map(|&v| {
+                let pv = dag.priority(v);
+                let mut blocked = false;
+                dag.for_each_conflict(v, &mut |w| {
+                    if accepted_ref[w as usize] && dag.priority(w) < pv {
+                        blocked = true;
+                    }
+                });
+                !blocked
+            })
+            .collect();
+        stats.decided += ready.len() as u64;
+
+        // Apply decisions and collect propagation targets: every *later*
+        // conflict of a flipped item must be re-checked. Sequential, but
+        // linear in the flip frontier — the parallel work above dominates.
+        for &v in &ready {
+            pending_flag[v as usize] = false;
+        }
+        let mut next: Vec<u32> = pending
+            .iter()
+            .copied()
+            .filter(|&v| pending_flag[v as usize])
+            .collect();
+        for (&v, &dec) in ready.iter().zip(&decisions) {
+            if !touched_flag[v as usize] {
+                touched_flag[v as usize] = true;
+                touched.push((v, accepted[v as usize]));
+            }
+            if accepted[v as usize] != dec {
+                accepted[v as usize] = dec;
+                stats.flips += 1;
+                let pv = dag.priority(v);
+                dag.for_each_conflict(v, &mut |w| {
+                    if dag.priority(w) > pv && !pending_flag[w as usize] {
+                        pending_flag[w as usize] = true;
+                        next.push(w);
+                    }
+                });
+            }
+        }
+        pending = next;
+    }
+
+    let mut changed: Vec<u32> = touched
+        .into_iter()
+        .filter_map(|(v, before)| (accepted[v as usize] != before).then_some(v))
+        .collect();
+    changed.sort_unstable();
+    (changed, stats)
+}
+
+/// Runs the greedy rule from scratch over `dag`: all items seeded, state
+/// starting all-`false`. Returns the accepted flags and the stats (whose
+/// `rounds` is the dependence length of the DAG).
+pub fn greedy_from_scratch<D: ConflictDag>(dag: &D) -> (Vec<bool>, RepairStats) {
+    let mut accepted = vec![false; dag.len()];
+    let seeds: Vec<u32> = (0..dag.len() as u32).collect();
+    let (_, stats) = repair_fixed_point(dag, &mut accepted, &seeds);
+    (accepted, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::sequential::sequential_mis;
+    use crate::ordering::random_permutation;
+    use greedy_graph::csr::Graph;
+    use greedy_graph::gen::random::random_graph;
+    use greedy_graph::gen::structured::{complete_graph, path_graph, star_graph};
+    use greedy_prims::permutation::Permutation;
+
+    /// MIS as a ConflictDag: vertices with permutation ranks as priorities.
+    struct MisDag<'a> {
+        graph: &'a Graph,
+        pi: &'a Permutation,
+    }
+
+    impl ConflictDag for MisDag<'_> {
+        fn len(&self) -> usize {
+            self.graph.num_vertices()
+        }
+        fn priority(&self, v: u32) -> (u64, u32) {
+            (self.pi.rank_of(v) as u64, v)
+        }
+        fn for_each_conflict(&self, v: u32, f: &mut dyn FnMut(u32)) {
+            for &w in self.graph.neighbors(v) {
+                f(w);
+            }
+        }
+    }
+
+    fn mis_of(accepted: &[bool]) -> Vec<u32> {
+        accepted
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &a)| a.then_some(v as u32))
+            .collect()
+    }
+
+    #[test]
+    fn from_scratch_equals_sequential_greedy() {
+        for seed in 0..5 {
+            let g = random_graph(400, 1_600, seed);
+            let pi = random_permutation(400, seed + 11);
+            let dag = MisDag { graph: &g, pi: &pi };
+            let (accepted, stats) = greedy_from_scratch(&dag);
+            assert_eq!(mis_of(&accepted), sequential_mis(&g, &pi), "seed {seed}");
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn from_scratch_on_structured_graphs() {
+        for (g, n) in [
+            (path_graph(50), 50),
+            (star_graph(33), 33),
+            (complete_graph(20), 20),
+        ] {
+            let pi = random_permutation(n, 3);
+            let dag = MisDag { graph: &g, pi: &pi };
+            let (accepted, _) = greedy_from_scratch(&dag);
+            assert_eq!(mis_of(&accepted), sequential_mis(&g, &pi));
+        }
+    }
+
+    #[test]
+    fn empty_seed_set_is_a_noop() {
+        let g = random_graph(100, 300, 1);
+        let pi = random_permutation(100, 2);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let (mut accepted, _) = greedy_from_scratch(&dag);
+        let before = accepted.clone();
+        let (changed, stats) = repair_fixed_point(&dag, &mut accepted, &[]);
+        assert!(changed.is_empty());
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(accepted, before);
+    }
+
+    #[test]
+    fn reseeding_a_fixed_point_changes_nothing() {
+        // Re-deciding every item of an already-consistent state must leave it
+        // untouched and report an empty net change set.
+        let g = random_graph(300, 1_200, 4);
+        let pi = random_permutation(300, 5);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let (mut accepted, _) = greedy_from_scratch(&dag);
+        let before = accepted.clone();
+        let seeds: Vec<u32> = (0..300).collect();
+        let (changed, _) = repair_fixed_point(&dag, &mut accepted, &seeds);
+        assert!(changed.is_empty(), "changed = {changed:?}");
+        assert_eq!(accepted, before);
+    }
+
+    #[test]
+    fn net_change_set_reports_only_real_flips() {
+        // Corrupt one vertex's decision, reseed it: the repair must restore
+        // the fixed point and report exactly the vertices whose final state
+        // differs from the corrupted entry state.
+        let g = path_graph(10);
+        let pi = Permutation::identity(10);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let (mut accepted, _) = greedy_from_scratch(&dag);
+        // Path with identity order: MIS = {0, 2, 4, 6, 8}.
+        assert_eq!(mis_of(&accepted), vec![0, 2, 4, 6, 8]);
+        // Corrupt vertex 4 to false; downstream (5..) is then stale too, but
+        // the repair only needs the corrupted vertex as a seed.
+        accepted[4] = false;
+        let (changed, _) = repair_fixed_point(&dag, &mut accepted, &[4]);
+        assert_eq!(mis_of(&accepted), vec![0, 2, 4, 6, 8]);
+        assert_eq!(changed, vec![4], "net change is the restored vertex only");
+    }
+
+    #[test]
+    #[should_panic(expected = "state covers")]
+    fn mismatched_state_length_panics() {
+        let g = path_graph(4);
+        let pi = Permutation::identity(4);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let mut accepted = vec![false; 3];
+        let _ = repair_fixed_point(&dag, &mut accepted, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_seed_panics() {
+        let g = path_graph(4);
+        let pi = Permutation::identity(4);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let mut accepted = vec![false; 4];
+        let _ = repair_fixed_point(&dag, &mut accepted, &[9]);
+    }
+
+    #[test]
+    fn zero_item_dag() {
+        let g = Graph::empty(0);
+        let pi = Permutation::identity(0);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let (accepted, stats) = greedy_from_scratch(&dag);
+        assert!(accepted.is_empty());
+        assert_eq!(stats.rounds, 0);
+    }
+}

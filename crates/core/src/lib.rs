@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod dag;
 pub mod matching;
 pub mod mis;
 pub mod ordering;
@@ -63,6 +64,7 @@ pub mod stats;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::analysis::{dependence_length, priority_dag_longest_path};
+    pub use crate::dag::{greedy_from_scratch, repair_fixed_point, ConflictDag, RepairStats};
     pub use crate::matching::prefix::{prefix_matching, prefix_matching_with_stats};
     pub use crate::matching::rootset::rootset_matching;
     pub use crate::matching::rounds::rounds_matching;

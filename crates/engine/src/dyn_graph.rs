@@ -1,0 +1,334 @@
+//! Mutable adjacency under batched edge updates.
+//!
+//! [`DynGraph`] is the representation the engine edits between snapshots:
+//! per-vertex neighbor lists kept strictly sorted, symmetric, loop-free and
+//! duplicate-free — the same invariants as [`greedy_graph::csr::Graph`], so
+//! the two convert back and forth losslessly.
+//!
+//! Batch updates follow the workspace's sorting discipline: the batch is
+//! canonicalized (self-loops dropped, endpoints ordered, duplicates removed)
+//! with the parallel radix sort from `greedy_prims::sort`, filtered against
+//! the current edge set in parallel, expanded into arcs, radix-sorted by
+//! source, and then *merged* into the per-vertex lists — one sorted merge per
+//! touched vertex, fanned out with `par_map_blocks` so distinct vertices
+//! update concurrently while each list stays a single owner's work. Every
+//! phase is deterministic, so the resulting adjacency is byte-identical
+//! across thread counts.
+
+use greedy_graph::csr::Graph;
+use greedy_graph::edge_list::{Edge, EdgeList};
+use greedy_prims::pack::par_dedup_adjacent;
+use greedy_prims::sort::sort_by_key_parallel;
+use greedy_prims::util::par_map_blocks;
+use rayon::prelude::*;
+
+/// An undirected graph under batched edge insertions and deletions.
+///
+/// The vertex set is fixed at construction; edges come and go in batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynGraph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl DynGraph {
+    /// An edgeless dynamic graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n <= u32::MAX as usize,
+            "DynGraph::new: too many vertices for u32 ids"
+        );
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds the dynamic form of a CSR graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self {
+            adj: graph.to_adjacency_lists(),
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Snapshots the current edge set back into CSR form.
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_sorted_adjacency(&self.adj)
+    }
+
+    /// The current edge set as a canonical [`EdgeList`].
+    pub fn to_edge_list(&self) -> EdgeList {
+        self.to_graph().to_edge_list()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges currently present.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// The sorted neighbors of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// True if `{u, v}` is currently an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Inserts a batch of edges. Self-loops, duplicates within the batch, and
+    /// edges already present are ignored. Returns the edges that were
+    /// actually added, canonical and sorted — the *effective* insertions.
+    pub fn insert_edges(&mut self, edges: &[Edge]) -> Vec<Edge> {
+        let batch = self.canonical_batch(edges, /* want_present: */ false);
+        if batch.is_empty() {
+            return batch;
+        }
+        self.apply_arcs(&batch, merge_insert);
+        self.num_edges += batch.len();
+        batch
+    }
+
+    /// Deletes a batch of edges. Self-loops, duplicates within the batch, and
+    /// edges not present are ignored. Returns the edges that were actually
+    /// removed, canonical and sorted — the *effective* deletions.
+    pub fn delete_edges(&mut self, edges: &[Edge]) -> Vec<Edge> {
+        let batch = self.canonical_batch(edges, /* want_present: */ true);
+        if batch.is_empty() {
+            return batch;
+        }
+        self.apply_arcs(&batch, merge_delete);
+        self.num_edges -= batch.len();
+        batch
+    }
+
+    /// Canonicalizes a raw batch and keeps the edges whose presence in the
+    /// current graph matches `want_present`: radix sort + parallel dedup +
+    /// parallel membership filter.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    fn canonical_batch(&self, edges: &[Edge], want_present: bool) -> Vec<Edge> {
+        let n = self.num_vertices();
+        let mut batch: Vec<Edge> = edges
+            .par_iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| e.canonical())
+            .collect();
+        for e in &batch {
+            assert!(
+                (e.v as usize) < n,
+                "DynGraph: edge ({}, {}) out of range for n={n}",
+                e.u,
+                e.v
+            );
+        }
+        sort_by_key_parallel(&mut batch, |e| e.sort_key());
+        let batch = par_dedup_adjacent(batch);
+        batch
+            .into_par_iter()
+            .filter(|e| self.has_edge(e.u, e.v) == want_present)
+            .collect()
+    }
+
+    /// Expands `batch` into arcs grouped by source and applies `update` to
+    /// each touched vertex's list, in parallel over the touched vertices.
+    fn apply_arcs(&mut self, batch: &[Edge], update: impl Fn(&mut Vec<u32>, &[u32]) + Sync) {
+        // Arcs keyed by `source << 32 | target`: after the radix sort they
+        // are grouped by source with sorted targets inside every group.
+        let mut arcs: Vec<(u32, u32)> = batch
+            .par_iter()
+            .flat_map_iter(|e| [(e.u, e.v), (e.v, e.u)])
+            .collect();
+        sort_by_key_parallel(&mut arcs, |&(u, v)| ((u as u64) << 32) | v as u64);
+        let targets: Vec<u32> = arcs.par_iter().map(|&(_, v)| v).collect();
+
+        // Per-source group boundaries, then one merge task per touched
+        // vertex. The `iter_mut` walk hands each task exclusive ownership of
+        // its vertex's list (sources are strictly increasing), so the merges
+        // run in parallel without synchronization.
+        let mut groups: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+        let mut start = 0;
+        while start < arcs.len() {
+            let source = arcs[start].0;
+            let mut end = start + 1;
+            while end < arcs.len() && arcs[end].0 == source {
+                end += 1;
+            }
+            groups.push((source, start..end));
+            start = end;
+        }
+        let mut tasks: Vec<(&mut Vec<u32>, &[u32])> = Vec::with_capacity(groups.len());
+        {
+            let mut lists = self.adj.iter_mut().enumerate();
+            for (source, range) in groups {
+                let list = loop {
+                    let (i, list) = lists.next().expect("source vertex in range");
+                    if i == source as usize {
+                        break list;
+                    }
+                };
+                tasks.push((list, &targets[range]));
+            }
+        }
+        par_map_blocks(tasks, &|(list, arcs): (&mut Vec<u32>, &[u32])| {
+            update(list, arcs)
+        });
+    }
+}
+
+/// Merges the sorted, disjoint `add` targets into the sorted `list`.
+fn merge_insert(list: &mut Vec<u32>, add: &[u32]) {
+    let old = std::mem::take(list);
+    let mut merged = Vec::with_capacity(old.len() + add.len());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < add.len() {
+        if old[i] < add[j] {
+            merged.push(old[i]);
+            i += 1;
+        } else {
+            debug_assert_ne!(old[i], add[j], "merge_insert: target already present");
+            merged.push(add[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&old[i..]);
+    merged.extend_from_slice(&add[j..]);
+    *list = merged;
+}
+
+/// Removes the sorted `remove` targets (all present) from the sorted `list`.
+fn merge_delete(list: &mut Vec<u32>, remove: &[u32]) {
+    let old = std::mem::take(list);
+    let mut kept = Vec::with_capacity(old.len() - remove.len());
+    let mut j = 0;
+    for x in old {
+        if j < remove.len() && remove[j] == x {
+            j += 1;
+        } else {
+            kept.push(x);
+        }
+    }
+    debug_assert_eq!(j, remove.len(), "merge_delete: target not present");
+    *list = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greedy_graph::gen::random::{random_edge_list, random_graph};
+    use greedy_prims::random::hash64;
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect()
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = DynGraph::new(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.to_graph(), Graph::empty(4));
+    }
+
+    #[test]
+    fn insert_dedups_canonicalizes_and_skips_loops() {
+        let mut g = DynGraph::new(5);
+        let added = g.insert_edges(&edges(&[(1, 0), (0, 1), (2, 2), (3, 4), (4, 3)]));
+        assert_eq!(added, edges(&[(0, 1), (3, 4)]));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+        // Re-inserting present edges is a no-op.
+        let added = g.insert_edges(&edges(&[(0, 1), (1, 2)]));
+        assert_eq!(added, edges(&[(1, 2)]));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn delete_skips_absent_edges() {
+        let mut g = DynGraph::new(4);
+        g.insert_edges(&edges(&[(0, 1), (1, 2), (2, 3)]));
+        let removed = g.delete_edges(&edges(&[(1, 2), (0, 3), (2, 1)]));
+        assert_eq!(removed, edges(&[(1, 2)]));
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(1, 2));
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn csr_roundtrip_after_updates() {
+        let base = random_graph(200, 600, 7);
+        let mut g = DynGraph::from_graph(&base);
+        assert_eq!(g.to_graph(), base);
+        g.insert_edges(&edges(&[(0, 199), (5, 17)]));
+        g.delete_edges(&[base.to_edge_list().edges()[0]]);
+        let snap = g.to_graph();
+        assert!(snap.validate().is_ok());
+        assert_eq!(snap.num_edges(), g.num_edges());
+        assert_eq!(DynGraph::from_graph(&snap), g);
+    }
+
+    #[test]
+    fn batched_updates_match_rebuilt_graph() {
+        // Applying random insert/delete batches must leave exactly the edge
+        // set a from-scratch build of the surviving edges produces.
+        let n = 300;
+        let mut g = DynGraph::new(n);
+        let mut reference: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        for round in 0..10u64 {
+            let ins = random_edge_list(n, 150, hash64(1, round)).into_parts().1;
+            let del: Vec<Edge> = random_edge_list(n, 80, hash64(2, round)).into_parts().1;
+            g.delete_edges(&del);
+            for e in &del {
+                let c = e.canonical();
+                if !c.is_self_loop() {
+                    reference.remove(&(c.u, c.v));
+                }
+            }
+            g.insert_edges(&ins);
+            for e in &ins {
+                let c = e.canonical();
+                if !c.is_self_loop() {
+                    reference.insert((c.u, c.v));
+                }
+            }
+            let expected: Vec<Edge> = reference.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+            assert_eq!(
+                g.to_graph(),
+                Graph::from_edges(n, &expected),
+                "round {round}"
+            );
+            assert_eq!(g.num_edges(), reference.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_rejects_out_of_range() {
+        DynGraph::new(3).insert_edges(&edges(&[(0, 3)]));
+    }
+}

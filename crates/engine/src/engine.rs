@@ -1,0 +1,392 @@
+//! The service-facing batch-dynamic engine.
+//!
+//! [`Engine`] owns a [`DynGraph`] plus the greedy MIS and maximal-matching
+//! states for it under fixed hashed priorities, and exposes the three calls a
+//! traffic-serving front-end needs: [`Engine::apply_batch`] (ingest a batch
+//! of edge updates, repair both states, report the deltas),
+//! [`Engine::snapshot`] (a consistent CSR view plus both solution sets), and
+//! [`Engine::stats`] (cumulative work counters for capacity planning).
+//!
+//! After every batch the maintained states are **exactly** what a
+//! from-scratch greedy run on the updated graph produces (the paper's unique
+//! lexicographically-first solutions under the fixed priorities) — the
+//! property the equivalence test suite checks against the static algorithms
+//! — and they are byte-identical across thread counts.
+
+use greedy_core::dag::RepairStats;
+use greedy_graph::csr::Graph;
+use greedy_graph::edge_list::Edge;
+
+use crate::dyn_graph::DynGraph;
+use crate::matching::{matching_from_scratch, MatchingState};
+use crate::mis::{mis_from_scratch, repair_mis, vertex_priorities};
+
+/// A batch of edge updates, applied atomically: deletions first, then
+/// insertions (so a batch may delete and re-insert the same edge).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    /// Edges to insert (any orientation; self-loops and duplicates ignored).
+    pub insertions: Vec<Edge>,
+    /// Edges to delete (any orientation; absent edges ignored).
+    pub deletions: Vec<Edge>,
+}
+
+impl EdgeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a batch from `(u, v)` pairs.
+    pub fn from_pairs(
+        insertions: impl IntoIterator<Item = (u32, u32)>,
+        deletions: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        Self {
+            insertions: insertions
+                .into_iter()
+                .map(|(u, v)| Edge::new(u, v))
+                .collect(),
+            deletions: deletions
+                .into_iter()
+                .map(|(u, v)| Edge::new(u, v))
+                .collect(),
+        }
+    }
+
+    /// Adds an insertion.
+    pub fn insert(&mut self, u: u32, v: u32) -> &mut Self {
+        self.insertions.push(Edge::new(u, v));
+        self
+    }
+
+    /// Adds a deletion.
+    pub fn delete(&mut self, u: u32, v: u32) -> &mut Self {
+        self.deletions.push(Edge::new(u, v));
+        self
+    }
+
+    /// True when the batch carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+}
+
+/// What one [`Engine::apply_batch`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Edges actually added (canonical, sorted; duplicates and already
+    /// present edges excluded).
+    pub edges_inserted: usize,
+    /// Edges actually removed.
+    pub edges_deleted: usize,
+    /// Vertices whose MIS membership flipped, sorted ascending.
+    pub mis_changed: Vec<u32>,
+    /// Edges whose matching membership flipped, canonical, sorted by packed
+    /// key (deleted matched edges appear here too).
+    pub matching_changed: Vec<Edge>,
+    /// Round/re-decision counters of the MIS repair.
+    pub mis_repair: RepairStats,
+    /// Edge re-decisions performed by the matching repair.
+    pub matching_redecisions: u64,
+}
+
+/// Cumulative counters across the engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Batches applied.
+    pub batches: u64,
+    /// Effective edge insertions across all batches.
+    pub edges_inserted: u64,
+    /// Effective edge deletions across all batches.
+    pub edges_deleted: u64,
+    /// Net MIS membership flips across all batches.
+    pub mis_vertices_changed: u64,
+    /// Net matching membership flips across all batches.
+    pub matching_edges_changed: u64,
+    /// Vertex re-decisions performed by MIS repairs (including the initial
+    /// from-scratch build).
+    pub mis_redecisions: u64,
+    /// Edge re-decisions performed by matching repairs (including the initial
+    /// from-scratch build).
+    pub matching_redecisions: u64,
+}
+
+/// A consistent view of the engine's state after some batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The current graph in CSR form.
+    pub graph: Graph,
+    /// The greedy MIS, sorted ascending.
+    pub mis: Vec<u32>,
+    /// The greedy maximal matching, canonical edges sorted lexicographically.
+    pub matching: Vec<Edge>,
+}
+
+/// Batch-dynamic maintenance of greedy MIS and maximal matching.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    graph: DynGraph,
+    seed: u64,
+    /// Cached `hash64(seed, v)` per vertex.
+    vertex_prio: Vec<u64>,
+    /// MIS membership flags (the maintained fixed point).
+    in_mis: Vec<bool>,
+    /// Matching state (the maintained fixed point).
+    matching: MatchingState,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine over an edgeless graph on `n` vertices. With no edges every
+    /// vertex is in the MIS and the matching is empty.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::from_dyn_graph(DynGraph::new(n), seed)
+    }
+
+    /// An engine initialized from an existing graph: both states are built
+    /// from scratch (counted in [`EngineStats`]), then maintained
+    /// incrementally.
+    pub fn from_graph(graph: &Graph, seed: u64) -> Self {
+        Self::from_dyn_graph(DynGraph::from_graph(graph), seed)
+    }
+
+    fn from_dyn_graph(graph: DynGraph, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        let vertex_prio = vertex_priorities(n, seed);
+        let (in_mis, mis_stats) = mis_from_scratch(&graph, &vertex_prio);
+        let (matching, matching_redecisions) = matching_from_scratch(&graph, seed);
+        let stats = EngineStats {
+            mis_redecisions: mis_stats.decided,
+            matching_redecisions,
+            ..EngineStats::default()
+        };
+        Self {
+            graph,
+            seed,
+            vertex_prio,
+            in_mis,
+            matching,
+            stats,
+        }
+    }
+
+    /// Applies one batch of edge updates and repairs both maintained states
+    /// to the greedy fixed point on the updated graph.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range for the engine's vertex set.
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchReport {
+        // Graph first: deletions, then insertions (batch semantics).
+        let deleted = self.graph.delete_edges(&batch.deletions);
+        let inserted = self.graph.insert_edges(&batch.insertions);
+
+        // Matching repair reads the pre-repair matched state of the deleted
+        // edges, so it runs directly off the effective lists.
+        let (matching_changed, matching_redecisions) =
+            self.matching
+                .repair_batch(&self.graph, self.seed, &deleted, &inserted);
+
+        // MIS dirty frontier: the endpoints of every effective change.
+        let mut seeds: Vec<u32> = deleted
+            .iter()
+            .chain(inserted.iter())
+            .flat_map(|e| [e.u, e.v])
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let (mis_changed, mis_repair) =
+            repair_mis(&self.graph, &self.vertex_prio, &mut self.in_mis, &seeds);
+
+        self.stats.batches += 1;
+        self.stats.edges_inserted += inserted.len() as u64;
+        self.stats.edges_deleted += deleted.len() as u64;
+        self.stats.mis_vertices_changed += mis_changed.len() as u64;
+        self.stats.matching_edges_changed += matching_changed.len() as u64;
+        self.stats.mis_redecisions += mis_repair.decided;
+        self.stats.matching_redecisions += matching_redecisions;
+
+        BatchReport {
+            edges_inserted: inserted.len(),
+            edges_deleted: deleted.len(),
+            mis_changed,
+            matching_changed,
+            mis_repair,
+            matching_redecisions,
+        }
+    }
+
+    /// A consistent snapshot of the current graph and both solution sets.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            graph: self.graph.to_graph(),
+            mis: self.mis(),
+            matching: self.matching(),
+        }
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The current greedy MIS, sorted ascending.
+    pub fn mis(&self) -> Vec<u32> {
+        self.in_mis
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &m)| m.then_some(v as u32))
+            .collect()
+    }
+
+    /// The current greedy maximal matching, canonical and sorted.
+    pub fn matching(&self) -> Vec<Edge> {
+        self.matching.matched_edges()
+    }
+
+    /// Number of matched edges (O(1), without materializing the matching).
+    pub fn matching_size(&self) -> usize {
+        self.matching.size()
+    }
+
+    /// True when vertex `v` is currently in the MIS.
+    pub fn in_mis(&self, v: u32) -> bool {
+        self.in_mis[v as usize]
+    }
+
+    /// Number of vertices (fixed at construction).
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// The priority seed the engine was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Read access to the dynamic graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::{edge_permutation, vertex_permutation};
+    use greedy_core::matching::sequential::sequential_matching;
+    use greedy_core::mis::sequential::sequential_mis;
+    use greedy_core::mis::verify::verify_mis;
+    use greedy_graph::gen::random::random_graph;
+
+    /// Checks both maintained states against from-scratch static runs.
+    fn assert_consistent(engine: &Engine) {
+        let snap = engine.snapshot();
+        let pi = vertex_permutation(engine.num_vertices(), engine.seed());
+        assert_eq!(snap.mis, sequential_mis(&snap.graph, &pi), "MIS diverged");
+        assert!(verify_mis(&snap.graph, &snap.mis));
+        let el = snap.graph.to_edge_list();
+        let pe = edge_permutation(engine.seed(), &el);
+        let mut expected: Vec<Edge> = sequential_matching(&el, &pe)
+            .into_iter()
+            .map(|id| el.edge(id as usize))
+            .collect();
+        expected.sort_unstable_by_key(|e| e.sort_key());
+        assert_eq!(snap.matching, expected, "matching diverged");
+    }
+
+    #[test]
+    fn empty_engine_has_full_mis() {
+        let engine = Engine::new(5, 1);
+        assert_eq!(engine.mis(), vec![0, 1, 2, 3, 4]);
+        assert!(engine.matching().is_empty());
+        assert_eq!(engine.num_edges(), 0);
+        assert_consistent(&engine);
+    }
+
+    #[test]
+    fn engine_from_graph_is_consistent() {
+        for seed in 0..3 {
+            let g = random_graph(250, 800, seed);
+            let engine = Engine::from_graph(&g, seed + 40);
+            assert_consistent(&engine);
+        }
+    }
+
+    #[test]
+    fn mixed_batches_stay_consistent() {
+        let mut engine = Engine::from_graph(&random_graph(120, 300, 1), 77);
+        let batches = [
+            EdgeBatch::from_pairs([(0, 60), (1, 61), (2, 62)], []),
+            EdgeBatch::from_pairs([], [(0, 60), (1, 61)]),
+            EdgeBatch::from_pairs([(5, 50), (5, 51), (5, 52)], [(2, 62)]),
+            // Delete and re-insert the same edge in one batch.
+            EdgeBatch::from_pairs([(5, 50)], [(5, 50)]),
+        ];
+        for (i, batch) in batches.iter().enumerate() {
+            let report = engine.apply_batch(batch);
+            assert_consistent(&engine);
+            assert_eq!(
+                engine.stats().batches,
+                i as u64 + 1,
+                "batch counter tracks calls"
+            );
+            // Deltas must be internally consistent with the report counters.
+            assert!(report.mis_repair.rounds >= u64::from(!report.mis_changed.is_empty()));
+        }
+        assert_eq!(engine.stats().edges_inserted, 3 + 3 + 1);
+    }
+
+    #[test]
+    fn reports_net_deltas() {
+        let mut engine = Engine::new(4, 3);
+        // Path 0-1-2-3 appears in one batch.
+        let report = engine.apply_batch(&EdgeBatch::from_pairs([(0, 1), (1, 2), (2, 3)], []));
+        assert_eq!(report.edges_inserted, 3);
+        assert!(!report.mis_changed.is_empty(), "some vertex left the MIS");
+        assert!(!report.matching_changed.is_empty(), "some edge got matched");
+        assert_consistent(&engine);
+        // Applying an empty batch changes nothing.
+        let report = engine.apply_batch(&EdgeBatch::new());
+        assert_eq!(report.edges_inserted + report.edges_deleted, 0);
+        assert!(report.mis_changed.is_empty());
+        assert!(report.matching_changed.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_absent_updates_are_ignored() {
+        let mut engine = Engine::new(6, 9);
+        engine.apply_batch(&EdgeBatch::from_pairs([(0, 1)], []));
+        let report = engine.apply_batch(&EdgeBatch::from_pairs(
+            [(0, 1), (1, 0), (2, 2)],
+            [(3, 4), (4, 4)],
+        ));
+        assert_eq!(report.edges_inserted, 0, "present/loop inserts ignored");
+        assert_eq!(report.edges_deleted, 0, "absent/loop deletes ignored");
+        assert!(report.mis_changed.is_empty());
+        assert!(report.matching_changed.is_empty());
+    }
+
+    #[test]
+    fn drain_graph_restores_full_mis() {
+        let g = random_graph(80, 200, 5);
+        let mut engine = Engine::from_graph(&g, 11);
+        let all: Vec<(u32, u32)> = g
+            .to_edge_list()
+            .edges()
+            .iter()
+            .map(|e| (e.u, e.v))
+            .collect();
+        let report = engine.apply_batch(&EdgeBatch::from_pairs([], all));
+        assert_eq!(report.edges_deleted, g.num_edges());
+        assert_eq!(engine.num_edges(), 0);
+        assert_eq!(engine.mis().len(), 80, "edgeless graph: everyone is in");
+        assert!(engine.matching().is_empty());
+        assert_consistent(&engine);
+    }
+}

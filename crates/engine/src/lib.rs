@@ -1,0 +1,71 @@
+//! # greedy-engine
+//!
+//! A batch-dynamic maintenance engine for the greedy MIS and maximal
+//! matching of *"Greedy Sequential Maximal Independent Set and Matching are
+//! Parallel on Average"* (Blelloch, Fineman, Shun; SPAA 2012).
+//!
+//! The paper's central fact makes dynamic maintenance both possible and
+//! checkable: under **fixed random priorities** the greedy MIS/matching is
+//! *unique* — the lexicographically-first solution — so after any batch of
+//! edge insertions and deletions there is exactly one correct repaired state,
+//! and it must equal a from-scratch greedy run on the new graph. This crate
+//! maintains that state incrementally, in the bulk-synchronous
+//! pseudo-streaming style: updates arrive as batches, each batch is applied
+//! atomically, and only the *affected* part of the solution is recomputed.
+//!
+//! ## Pieces
+//!
+//! * [`dyn_graph::DynGraph`] — sorted per-vertex adjacency under parallel
+//!   batch insert/delete (radix-sort + merge, via `greedy_prims::sort`),
+//!   convertible to/from [`greedy_graph::csr::Graph`];
+//! * [`priority`] — the update-stable hashed priorities (per vertex and per
+//!   edge-endpoint-pair) the states are maintained under, plus helpers that
+//!   materialize them as [`greedy_prims::permutation::Permutation`]s for the
+//!   static oracle algorithms;
+//! * incremental repair — MIS rides the reusable round machinery
+//!   [`greedy_core::dag::repair_fixed_point`] (the rounds algorithm
+//!   generalized to a dirty frontier); matching runs the same fixed point as
+//!   a priority-ordered worklist over edge keys (edges have no stable dense
+//!   ids, so the round driver's item indexing does not apply);
+//! * [`engine::Engine`] — the service-facing facade:
+//!   [`apply_batch`](engine::Engine::apply_batch) /
+//!   [`snapshot`](engine::Engine::snapshot) /
+//!   [`stats`](engine::Engine::stats), reporting per-batch changed-vertex and
+//!   changed-edge deltas.
+//!
+//! ## Example
+//!
+//! ```
+//! use greedy_engine::prelude::*;
+//! use greedy_graph::gen::random::random_graph;
+//!
+//! let mut engine = Engine::from_graph(&random_graph(1_000, 3_000, 7), 42);
+//! let mut batch = EdgeBatch::new();
+//! batch.insert(0, 500).insert(1, 501).delete(0, 500);
+//! let report = engine.apply_batch(&batch);
+//! assert!(report.edges_inserted <= 2);
+//!
+//! // The maintained state is exactly the from-scratch greedy result.
+//! let snap = engine.snapshot();
+//! assert_eq!(snap.mis, {
+//!     use greedy_core::mis::sequential::sequential_mis;
+//!     let pi = vertex_permutation(engine.num_vertices(), engine.seed());
+//!     sequential_mis(&snap.graph, &pi)
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dyn_graph;
+pub mod engine;
+mod matching;
+mod mis;
+pub mod priority;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::dyn_graph::DynGraph;
+    pub use crate::engine::{BatchReport, EdgeBatch, Engine, EngineStats, Snapshot};
+    pub use crate::priority::{edge_permutation, edge_priority, vertex_permutation};
+}

@@ -1,0 +1,291 @@
+//! Incremental maintenance of the greedy maximal matching.
+//!
+//! The maintained invariant is greedy on the line graph: edge `e` is matched
+//! iff no adjacent edge with earlier priority is. Unlike vertices, edges have
+//! no stable dense ids under insertion/deletion, so instead of the
+//! round-based [`greedy_core::dag::repair_fixed_point`] this maintainer runs
+//! the same fixed-point computation as a priority-ordered worklist over
+//! *edge keys*: a min-heap on [`edge_priority`] keys.
+//!
+//! Correctness rests on one invariant: **every push performed while
+//! processing a popped edge has strictly later priority than that edge**
+//! (pushes target the later-priority incident edges of a decision that
+//! flipped). Pops are therefore globally nondecreasing in priority, so when
+//! an edge pops, every earlier-priority decision that could still change has
+//! already settled — its re-decision is final. An edge can be pushed (and
+//! popped) more than once; redundant pops find a consistent decision and do
+//! nothing. The repair is sequential and trivially deterministic; per batch
+//! it touches only the affected edges, not the whole graph.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use greedy_graph::edge_list::Edge;
+
+use crate::dyn_graph::DynGraph;
+use crate::priority::{edge_key, edge_priority};
+
+/// Unpacks a canonical packed edge key back into its endpoints.
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// The matched-edge state: each vertex's partner, or `u32::MAX` if unmatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MatchingState {
+    partner: Vec<u32>,
+    size: usize,
+}
+
+impl MatchingState {
+    /// An empty matching over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            partner: vec![u32::MAX; n],
+            size: 0,
+        }
+    }
+
+    /// Number of matched edges.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True when edge `{u, v}` is currently matched.
+    #[inline]
+    pub fn is_matched(&self, u: u32, v: u32) -> bool {
+        self.partner[u as usize] == v
+    }
+
+    /// The matching as canonical edges, sorted lexicographically.
+    pub fn matched_edges(&self) -> Vec<Edge> {
+        self.partner
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| p != u32::MAX && (v as u32) < p)
+            .map(|(v, &p)| Edge::new(v as u32, p))
+            .collect()
+    }
+
+    /// Repairs the matching after `deleted` edges left and `inserted` edges
+    /// entered `graph` (both lists canonical, already applied to the graph).
+    /// Returns the net-changed edges (membership flipped relative to entry),
+    /// canonical and sorted, plus the number of re-decisions performed.
+    pub fn repair_batch(
+        &mut self,
+        graph: &DynGraph,
+        seed: u64,
+        deleted: &[Edge],
+        inserted: &[Edge],
+    ) -> (Vec<Edge>, u64) {
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        // Decision of each touched edge at batch entry, keyed by packed edge
+        // key; the net delta is computed against these at the end.
+        let mut original: HashMap<u64, bool> = HashMap::new();
+
+        // A deleted edge that was matched frees both endpoints; every
+        // surviving incident edge with later priority may now flip in. A
+        // deleted unmatched edge constrained nothing and needs no repair.
+        for &e in deleted {
+            if self.is_matched(e.u, e.v) {
+                self.unmatch(e.u, e.v);
+                original.insert(edge_key(e), true);
+                let p = edge_priority(seed, e);
+                for x in [e.u, e.v] {
+                    push_later_incident(&mut heap, graph, seed, x, p);
+                }
+            }
+        }
+        // An inserted edge is a new item whose decision starts `false`
+        // (unmatched); re-deciding it propagates onward if it flips in.
+        for &e in inserted {
+            heap.push(Reverse(edge_priority(seed, e)));
+        }
+
+        let mut redecisions = 0u64;
+        while let Some(Reverse((h, key))) = heap.pop() {
+            redecisions += 1;
+            let (u, v) = unpack(key);
+            let currently = self.is_matched(u, v);
+            // Blocked iff some earlier-priority adjacent edge is matched; a
+            // matched adjacent edge is unique per endpoint (the partner).
+            let blocked = self.blocks(seed, u, v, (h, key)) || self.blocks(seed, v, u, (h, key));
+            let decision = !blocked;
+            if decision == currently {
+                continue;
+            }
+            original.entry(key).or_insert(currently);
+            if decision {
+                // Accept {u, v}: any currently matched edge at u or v has
+                // later priority (an earlier one would have blocked us) and
+                // is knocked out; its freed far endpoint's later incident
+                // edges must then be re-decided.
+                for x in [u, v] {
+                    let p = self.partner[x as usize];
+                    if p != u32::MAX {
+                        let out = Edge::new(x, p);
+                        let out_prio = edge_priority(seed, out);
+                        debug_assert!(out_prio > (h, key), "knocked-out edge must be later");
+                        self.unmatch(x, p);
+                        original.entry(edge_key(out)).or_insert(true);
+                        push_later_incident(&mut heap, graph, seed, p, out_prio);
+                    }
+                }
+                self.partner[u as usize] = v;
+                self.partner[v as usize] = u;
+                self.size += 1;
+            } else {
+                self.unmatch(u, v);
+            }
+            // Either way the decision of {u, v} flipped: later incident edges
+            // of both endpoints see a changed earlier frontier.
+            for x in [u, v] {
+                push_later_incident(&mut heap, graph, seed, x, (h, key));
+            }
+        }
+
+        let mut changed: Vec<(u64, Edge)> = original
+            .into_iter()
+            .filter_map(|(key, before)| {
+                let (u, v) = unpack(key);
+                let now = graph.has_edge(u, v) && self.is_matched(u, v);
+                (now != before).then_some((key, Edge::new(u, v)))
+            })
+            .collect();
+        changed.sort_unstable_by_key(|&(key, _)| key);
+        (changed.into_iter().map(|(_, e)| e).collect(), redecisions)
+    }
+
+    /// True when endpoint `x` is matched by an edge earlier than `prio`
+    /// (other than to `y` itself).
+    #[inline]
+    fn blocks(&self, seed: u64, x: u32, y: u32, prio: (u64, u64)) -> bool {
+        let p = self.partner[x as usize];
+        p != u32::MAX && p != y && edge_priority(seed, Edge::new(x, p)) < prio
+    }
+
+    /// Clears the matched pair `{u, v}`.
+    #[inline]
+    fn unmatch(&mut self, u: u32, v: u32) {
+        debug_assert!(self.is_matched(u, v) && self.is_matched(v, u));
+        self.partner[u as usize] = u32::MAX;
+        self.partner[v as usize] = u32::MAX;
+        self.size -= 1;
+    }
+}
+
+/// Pushes every edge incident to `x` with priority strictly later than
+/// `after` — the downstream frontier of a decision flip at an edge of `x`.
+fn push_later_incident(
+    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+    graph: &DynGraph,
+    seed: u64,
+    x: u32,
+    after: (u64, u64),
+) {
+    for &w in graph.neighbors(x) {
+        let p = edge_priority(seed, Edge::new(x, w));
+        if p > after {
+            heap.push(Reverse(p));
+        }
+    }
+}
+
+/// Builds the greedy matching from scratch: every current edge seeded as an
+/// "insertion" over an empty matching. Used at engine construction.
+pub(crate) fn matching_from_scratch(graph: &DynGraph, seed: u64) -> (MatchingState, u64) {
+    let mut state = MatchingState::new(graph.num_vertices());
+    let all: Vec<Edge> = graph.to_edge_list().into_parts().1;
+    let (_, redecisions) = state.repair_batch(graph, seed, &[], &all);
+    (state, redecisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::edge_permutation;
+    use greedy_core::matching::sequential::sequential_matching;
+    use greedy_graph::gen::random::random_graph;
+
+    /// From-scratch oracle: the static sequential greedy matching under the
+    /// engine's hashed edge order.
+    fn oracle(graph: &DynGraph, seed: u64) -> Vec<Edge> {
+        let el = graph.to_edge_list();
+        let pi = edge_permutation(seed, &el);
+        let mut m: Vec<Edge> = sequential_matching(&el, &pi)
+            .into_iter()
+            .map(|id| el.edge(id as usize))
+            .collect();
+        m.sort_unstable_by_key(|e| e.sort_key());
+        m
+    }
+
+    #[test]
+    fn scratch_matching_equals_sequential_oracle() {
+        for seed in 0..4 {
+            let g = DynGraph::from_graph(&random_graph(300, 1_000, seed));
+            let (state, _) = matching_from_scratch(&g, seed + 31);
+            assert_eq!(state.matched_edges(), oracle(&g, seed + 31), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_repair_to_oracle() {
+        let mut g = DynGraph::from_graph(&random_graph(150, 400, 2));
+        let seed = 99;
+        let (mut state, _) = matching_from_scratch(&g, seed);
+        // A few single-edge updates, each checked against the oracle.
+        for (ins, del) in [
+            (vec![Edge::new(0, 149)], vec![]),
+            (vec![], vec![Edge::new(0, 149)]),
+            (vec![Edge::new(7, 90), Edge::new(7, 91)], vec![]),
+            (vec![], vec![Edge::new(7, 90)]),
+        ] {
+            let deleted = g.delete_edges(&del);
+            let inserted = g.insert_edges(&ins);
+            let before = state.matched_edges();
+            let (changed, _) = state.repair_batch(&g, seed, &deleted, &inserted);
+            assert_eq!(state.matched_edges(), oracle(&g, seed));
+            // The reported delta is exactly the symmetric difference.
+            let after = state.matched_edges();
+            let mut sym: Vec<Edge> = before
+                .iter()
+                .filter(|e| !after.contains(e))
+                .chain(after.iter().filter(|e| !before.contains(e)))
+                .copied()
+                .collect();
+            sym.sort_unstable_by_key(|e| e.sort_key());
+            assert_eq!(changed, sym);
+        }
+    }
+
+    #[test]
+    fn deleting_matched_edge_lets_neighbors_in() {
+        // Path 0-1-2-3; force a state, delete the matched middle edge.
+        let mut g = DynGraph::new(4);
+        g.insert_edges(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+        for seed in 0..20 {
+            let (mut state, _) = matching_from_scratch(&g, seed);
+            let m = state.matched_edges();
+            let deleted = g.delete_edges(&[m[0]]);
+            let (_, _) = state.repair_batch(&g, seed, &deleted, &[]);
+            assert_eq!(state.matched_edges(), oracle(&g, seed), "seed {seed}");
+            g.insert_edges(&deleted);
+            let re_inserted = deleted;
+            let (_, _) = state.repair_batch(&g, seed, &[], &re_inserted);
+            assert_eq!(state.matched_edges(), oracle(&g, seed), "seed {seed} back");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let g = DynGraph::from_graph(&random_graph(50, 120, 3));
+        let (mut state, _) = matching_from_scratch(&g, 5);
+        let before = state.clone();
+        let (changed, redecisions) = state.repair_batch(&g, 5, &[], &[]);
+        assert!(changed.is_empty());
+        assert_eq!(redecisions, 0);
+        assert_eq!(state, before);
+    }
+}

@@ -6,6 +6,7 @@
 //! intermediate form every generator produces before building a CSR
 //! [`crate::csr::Graph`].
 
+use greedy_prims::pack::par_dedup_adjacent;
 use greedy_prims::sort::sort_by_key_parallel;
 use rayon::prelude::*;
 
@@ -159,7 +160,7 @@ impl EdgeList {
             .map(|e| e.canonical())
             .collect();
         sort_by_key_parallel(&mut self.edges, |e| e.sort_key());
-        self.edges.dedup();
+        self.edges = par_dedup_adjacent(std::mem::take(&mut self.edges));
         self
     }
 

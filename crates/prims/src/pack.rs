@@ -122,6 +122,31 @@ pub fn par_pack_index(flags: &[bool]) -> Vec<usize> {
     par_pack(&indices, flags)
 }
 
+/// Parallel adjacent-duplicate removal: identical output to [`Vec::dedup`],
+/// computed as a parallel keep-flag pass (`keep[i] = i == 0 || v[i] != v[i-1]`)
+/// followed by [`par_pack`].
+///
+/// On sorted input this removes all duplicates, which is how the CSR build
+/// and edge-list canonicalization use it after their radix sorts — the serial
+/// `Vec::dedup` there was the last O(n) sequential tail on those paths.
+///
+/// ```
+/// use greedy_prims::pack::par_dedup_adjacent;
+/// assert_eq!(par_dedup_adjacent(vec![1, 1, 2, 3, 3, 3]), vec![1, 2, 3]);
+/// ```
+pub fn par_dedup_adjacent<T: PartialEq + Copy + Send + Sync>(mut v: Vec<T>) -> Vec<T> {
+    if v.len() < SEQUENTIAL_CUTOFF {
+        v.dedup();
+        return v;
+    }
+    let slice = &v[..];
+    let flags: Vec<bool> = (0..slice.len())
+        .into_par_iter()
+        .map(|i| i == 0 || slice[i] != slice[i - 1])
+        .collect();
+    par_pack(&v, &flags)
+}
+
 /// Splits `input` into (elements with `flags[i] == true`, elements with
 /// `flags[i] == false`), both preserving order.
 ///
@@ -217,6 +242,31 @@ mod tests {
         pack(&[1, 2, 3], &[true]);
     }
 
+    #[test]
+    fn par_dedup_matches_vec_dedup_large() {
+        // Duplicate-heavy sorted input well above the sequential cutoff.
+        let v: Vec<u64> = (0..60_000u64).map(|i| i / 7).collect();
+        let mut expected = v.clone();
+        expected.dedup();
+        assert_eq!(par_dedup_adjacent(v), expected);
+    }
+
+    #[test]
+    fn par_dedup_unsorted_removes_only_adjacent_runs() {
+        // Same contract as Vec::dedup: non-adjacent duplicates survive.
+        let v: Vec<u32> = (0..30_000u32).map(|i| i % 3).collect();
+        let mut expected = v.clone();
+        expected.dedup();
+        assert_eq!(par_dedup_adjacent(v), expected);
+    }
+
+    #[test]
+    fn par_dedup_edge_cases() {
+        assert_eq!(par_dedup_adjacent(Vec::<u32>::new()), Vec::<u32>::new());
+        assert_eq!(par_dedup_adjacent(vec![5u32]), vec![5]);
+        assert_eq!(par_dedup_adjacent(vec![9u32; 50_000]), vec![9]);
+    }
+
     proptest! {
         #[test]
         fn prop_par_pack_equals_pack(
@@ -229,6 +279,15 @@ mod tests {
                 .map(|(i, _)| (seed.wrapping_mul(i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)) & 1 == 0)
                 .collect();
             prop_assert_eq!(par_pack(&data, &flags), pack(&data, &flags));
+        }
+
+        #[test]
+        fn prop_par_dedup_equals_vec_dedup(data in proptest::collection::vec(0u32..60, 0..4000)) {
+            let mut sorted = data;
+            sorted.sort_unstable();
+            let mut expected = sorted.clone();
+            expected.dedup();
+            prop_assert_eq!(par_dedup_adjacent(sorted), expected);
         }
 
         #[test]

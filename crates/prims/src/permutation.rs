@@ -21,6 +21,7 @@ use rayon::prelude::*;
 
 use crate::random::hash64;
 use crate::sort::sort_by_key_parallel;
+use crate::util::{blocks, par_map_blocks};
 
 /// A permutation of `0..n`, stored in both directions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,18 +39,13 @@ impl Permutation {
     /// Panics if `order` is not a permutation of `0..order.len()`.
     pub fn from_order(order: Vec<u32>) -> Self {
         let n = order.len();
-        let mut rank = vec![u32::MAX; n];
-        for (pos, &v) in order.iter().enumerate() {
-            assert!(
-                (v as usize) < n,
-                "from_order: element {v} out of range for n={n}"
-            );
-            assert!(
-                rank[v as usize] == u32::MAX,
-                "from_order: element {v} appears twice"
-            );
-            rank[v as usize] = pos as u32;
-        }
+        let rank = match par_validated_inverse(&order) {
+            Ok(rank) => rank,
+            Err(InverseError::OutOfRange(v)) => {
+                panic!("from_order: element {v} out of range for n={n}")
+            }
+            Err(InverseError::Duplicate(v)) => panic!("from_order: element {v} appears twice"),
+        };
         Self { order, rank }
     }
 
@@ -59,18 +55,13 @@ impl Permutation {
     /// Panics if `rank` is not a permutation of `0..rank.len()`.
     pub fn from_rank(rank: Vec<u32>) -> Self {
         let n = rank.len();
-        let mut order = vec![u32::MAX; n];
-        for (v, &pos) in rank.iter().enumerate() {
-            assert!(
-                (pos as usize) < n,
-                "from_rank: position {pos} out of range for n={n}"
-            );
-            assert!(
-                order[pos as usize] == u32::MAX,
-                "from_rank: position {pos} assigned twice"
-            );
-            order[pos as usize] = v as u32;
-        }
+        let order = match par_validated_inverse(&rank) {
+            Ok(order) => order,
+            Err(InverseError::OutOfRange(pos)) => {
+                panic!("from_rank: position {pos} out of range for n={n}")
+            }
+            Err(InverseError::Duplicate(pos)) => panic!("from_rank: position {pos} assigned twice"),
+        };
         Self { order, rank }
     }
 
@@ -146,6 +137,142 @@ impl Permutation {
             .enumerate()
             .all(|(pos, &v)| (v as usize) < self.rank.len() && self.rank[v as usize] == pos as u32)
     }
+}
+
+/// A validation failure detected by [`par_validated_inverse`].
+enum InverseError {
+    /// A value `>= n` was found.
+    OutOfRange(u32),
+    /// A value appeared twice.
+    Duplicate(u32),
+}
+
+/// Below this length the inverse is built with the plain sequential scatter;
+/// the parallel version pays three passes of setup that only win above it.
+const INVERSE_SEQUENTIAL_CUTOFF: usize = 1 << 15;
+
+/// Computes the inverse of a permutation given as `values` (so
+/// `out[values[i]] = i`), validating that `values` really is a permutation of
+/// `0..n`. Returns the offending value otherwise.
+///
+/// The parallel path replaces the serial O(n) rank-build tail that used to
+/// follow the parallel key sort in permutation construction. It is one
+/// counting-sort-style pass, in the same safe disjoint-sub-slice pattern as
+/// `sort/radix.rs`:
+///
+/// 1. the input is split into blocks; each block histograms its values into
+///    contiguous *value ranges* (one per bucket) and reports any
+///    out-of-range value;
+/// 2. a scratch array of `(value, position)` pairs is carved into disjoint
+///    per-(bucket, block) segments — the exclusive scan of the count matrix
+///    realized as sub-slices — and each block scatters its pairs in order;
+/// 3. each bucket owns a disjoint `bucket_width`-wide sub-slice of the
+///    output; it replays its (now contiguous) pairs, writing `position` at
+///    `value - bucket_start` and flagging a slot written twice as a
+///    duplicate.
+///
+/// No task ever writes another task's slots, so the pass needs no
+/// synchronization and no `unsafe`, and the output is identical at every
+/// thread count.
+fn par_validated_inverse(values: &[u32]) -> Result<Vec<u32>, InverseError> {
+    let n = values.len();
+    if n < INVERSE_SEQUENTIAL_CUTOFF {
+        let mut out = vec![u32::MAX; n];
+        for (pos, &v) in values.iter().enumerate() {
+            if (v as usize) >= n {
+                return Err(InverseError::OutOfRange(v));
+            }
+            if out[v as usize] != u32::MAX {
+                return Err(InverseError::Duplicate(v));
+            }
+            out[v as usize] = pos as u32;
+        }
+        return Ok(out);
+    }
+
+    let num_buckets = rayon::current_num_threads().saturating_mul(4).max(1);
+    let bucket_width = n.div_ceil(num_buckets);
+    let num_buckets = n.div_ceil(bucket_width);
+    let in_ranges = blocks(n, INVERSE_SEQUENTIAL_CUTOFF / 4, num_buckets);
+
+    // Phase 1: per-block value-range histograms + out-of-range detection.
+    let histograms: Vec<(Vec<usize>, Option<u32>)> =
+        par_map_blocks(in_ranges.clone(), &|r: std::ops::Range<usize>| {
+            let mut counts = vec![0usize; num_buckets];
+            let mut bad = None;
+            for &v in &values[r] {
+                if (v as usize) < n {
+                    counts[v as usize / bucket_width] += 1;
+                } else if bad.is_none() {
+                    bad = Some(v);
+                }
+            }
+            (counts, bad)
+        });
+    if let Some(v) = histograms.iter().find_map(|(_, bad)| *bad) {
+        return Err(InverseError::OutOfRange(v));
+    }
+
+    // Phase 2: carve a (value, position) scratch array into disjoint
+    // per-(bucket, block) segments, bucket-major, and scatter in parallel.
+    let mut scratch: Vec<(u32, u32)> = vec![(0, 0); n];
+    let mut segments: Vec<Vec<&mut [(u32, u32)]>> = (0..in_ranges.len())
+        .map(|_| Vec::with_capacity(num_buckets))
+        .collect();
+    let mut rest = scratch.as_mut_slice();
+    for bucket in 0..num_buckets {
+        for (block, (counts, _)) in histograms.iter().enumerate() {
+            let (seg, tail) = rest.split_at_mut(counts[bucket]);
+            segments[block].push(seg);
+            rest = tail;
+        }
+    }
+    debug_assert!(rest.is_empty());
+    type ScatterTask<'s> = (std::ops::Range<usize>, Vec<&'s mut [(u32, u32)]>);
+    let tasks: Vec<ScatterTask<'_>> = in_ranges.into_iter().zip(segments).collect();
+    par_map_blocks(tasks, &|(r, mut segs): ScatterTask<'_>| {
+        let mut cursor = vec![0usize; num_buckets];
+        for pos in r {
+            let v = values[pos];
+            let b = v as usize / bucket_width;
+            segs[b][cursor[b]] = (v, pos as u32);
+            cursor[b] += 1;
+        }
+    });
+
+    // Phase 3: every bucket writes its own value range of the output.
+    type BucketTask<'s> = (usize, &'s [(u32, u32)], &'s mut [u32]);
+    let mut out = vec![u32::MAX; n];
+    let mut bucket_tasks: Vec<BucketTask<'_>> = Vec::with_capacity(num_buckets);
+    {
+        let mut pairs_rest: &[(u32, u32)] = &scratch;
+        let mut out_rest = out.as_mut_slice();
+        for bucket in 0..num_buckets {
+            let bucket_len: usize = histograms.iter().map(|(c, _)| c[bucket]).sum();
+            let (pairs, pt) = pairs_rest.split_at(bucket_len);
+            pairs_rest = pt;
+            let width = bucket_width.min(out_rest.len());
+            let (slots, ot) = out_rest.split_at_mut(width);
+            out_rest = ot;
+            bucket_tasks.push((bucket * bucket_width, pairs, slots));
+        }
+    }
+    let duplicates: Vec<Option<u32>> =
+        par_map_blocks(bucket_tasks, &|(base, pairs, slots): BucketTask<'_>| {
+            let mut dup = None;
+            for &(v, pos) in pairs {
+                let slot = v as usize - base;
+                if slots[slot] != u32::MAX && dup.is_none() {
+                    dup = Some(v);
+                }
+                slots[slot] = pos;
+            }
+            dup
+        });
+    if let Some(v) = duplicates.into_iter().flatten().next() {
+        return Err(InverseError::Duplicate(v));
+    }
+    Ok(out)
 }
 
 /// Uniformly random permutation of `0..n` via Fisher–Yates with a
@@ -231,6 +358,39 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_order_rejects_out_of_range() {
         Permutation::from_order(vec![0, 5, 1]);
+    }
+
+    #[test]
+    fn parallel_rank_build_matches_sequential_scatter() {
+        // Well above INVERSE_SEQUENTIAL_CUTOFF: exercises the blocked
+        // inverse-scatter. validate() checks the full bijection.
+        let p = par_random_permutation(200_000, 21);
+        assert!(p.validate());
+        let q = Permutation::from_rank(p.rank().to_vec());
+        assert_eq!(p, q);
+        // The parallel path must agree with the sequential scatter exactly.
+        let order = p.order().to_vec();
+        let mut expected = vec![u32::MAX; order.len()];
+        for (pos, &v) in order.iter().enumerate() {
+            expected[v as usize] = pos as u32;
+        }
+        assert_eq!(p.rank(), &expected[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn from_order_rejects_duplicates_above_parallel_cutoff() {
+        let mut order: Vec<u32> = (0..100_000).collect();
+        order[99_999] = 5;
+        Permutation::from_order(order);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_order_rejects_out_of_range_above_parallel_cutoff() {
+        let mut order: Vec<u32> = (0..100_000).collect();
+        order[12_345] = 100_000;
+        Permutation::from_order(order);
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! pass that re-scans each block seeded with its offset. It is deterministic
 //! and returns exactly the same output as the sequential scan.
 
-use rayon::prelude::*;
-
-use crate::util::{blocks, default_num_blocks, SEQUENTIAL_CUTOFF};
+use crate::util::{blocks, default_num_blocks, par_map_blocks, SEQUENTIAL_CUTOFF};
 
 /// A commutative-enough monoid for scanning. Only associativity and an
 /// identity are required; all instances used in this workspace (integer
@@ -127,31 +125,24 @@ pub fn par_exclusive_scan_in_place<T: ScanMonoid>(data: &mut [T]) -> T {
     }
     let ranges = blocks(n, SEQUENTIAL_CUTOFF / 2, default_num_blocks());
 
-    // Pass 1: per-block totals.
-    let mut block_totals: Vec<T> = Vec::with_capacity(ranges.len());
-    {
-        // Split `data` into disjoint chunks matching `ranges` so each task owns
-        // its block. `par_chunk_totals` preserves block order via collect.
-        let chunk_bounds: Vec<_> = ranges.clone();
-        let totals: Vec<T> = chunk_bounds
-            .par_iter()
-            .map(|r| {
-                let mut acc = T::identity();
-                for &x in &data[r.clone()] {
-                    acc = acc.combine(x);
-                }
-                acc
-            })
-            .collect();
-        block_totals.extend(totals);
-    }
+    // Pass 1: per-block totals. The block list is a short vector of *coarse*
+    // tasks, which the rayon shim's `par_iter` would not split (its grain is
+    // tuned for per-element work), so fan out with the join-based
+    // `par_map_blocks` instead.
+    let immutable: &[T] = data;
+    let mut block_totals: Vec<T> = par_map_blocks(ranges.clone(), &|r: std::ops::Range<usize>| {
+        let mut acc = T::identity();
+        for &x in &immutable[r] {
+            acc = acc.combine(x);
+        }
+        acc
+    });
 
     // Pass 2: scan the block totals sequentially (few of them).
     let grand_total = exclusive_scan_in_place(&mut block_totals);
 
-    // Pass 3: re-scan each block seeded with its offset, in parallel.
-    // We need disjoint mutable access per block; use split_at_mut chaining via
-    // rayon's par_iter over index ranges with unsafe-free chunk splitting.
+    // Pass 3: re-scan each block seeded with its offset, in parallel over
+    // disjoint sub-slices (same coarse-task fan-out as pass 1).
     let mut slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
     {
         let mut rest = data;
@@ -163,17 +154,15 @@ pub fn par_exclusive_scan_in_place<T: ScanMonoid>(data: &mut [T]) -> T {
             consumed = r.end;
         }
     }
-    slices
-        .into_par_iter()
-        .zip(block_totals.par_iter())
-        .for_each(|(chunk, &offset)| {
-            let mut acc = offset;
-            for x in chunk.iter_mut() {
-                let next = acc.combine(*x);
-                *x = acc;
-                acc = next;
-            }
-        });
+    let tasks: Vec<(&mut [T], T)> = slices.into_iter().zip(block_totals).collect();
+    par_map_blocks(tasks, &|(chunk, offset): (&mut [T], T)| {
+        let mut acc = offset;
+        for x in chunk.iter_mut() {
+            let next = acc.combine(*x);
+            *x = acc;
+            acc = next;
+        }
+    });
     grand_total
 }
 

@@ -40,6 +40,7 @@
 
 pub use greedy_apps;
 pub use greedy_core;
+pub use greedy_engine;
 pub use greedy_graph;
 pub use greedy_prims;
 pub use greedy_reservations;
@@ -65,6 +66,9 @@ pub mod prelude {
     pub use greedy_core::mis::verify::{verify_mis, verify_same_set};
     pub use greedy_core::ordering::{random_edge_permutation, random_permutation};
     pub use greedy_core::stats::WorkStats;
+    pub use greedy_engine::prelude::{
+        BatchReport, DynGraph, EdgeBatch, Engine, EngineStats, Snapshot,
+    };
     pub use greedy_graph::csr::Graph;
     pub use greedy_graph::edge_list::EdgeList;
     pub use greedy_graph::gen::random::random_graph;

@@ -192,6 +192,73 @@ fn parallel_sorts_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn engine_state_is_byte_identical_across_thread_counts() {
+    use greedy_prims::random::hash64;
+
+    // Replay the same update stream through a fresh engine at every pool
+    // size: the snapshots (graph arrays, MIS, matching) and every per-batch
+    // report must match byte for byte. Batches are built from the engine's
+    // evolving state (deletions drawn from currently *present* edges so the
+    // delete-merge and deletion-repair paths really run); that construction
+    // is itself deterministic, so every pool size replays the same stream —
+    // and if it ever did not, the final state comparison would catch it.
+    let base = random_graph(3_000, 9_000, 31);
+    let run = |threads: usize| {
+        in_pool(threads, || {
+            let mut engine = Engine::from_graph(&base, 7);
+            let reports: Vec<BatchReport> = (0..6u64)
+                .map(|round| {
+                    let mut batch = EdgeBatch::new();
+                    for i in 0..50 {
+                        batch.insert(
+                            (hash64(91, round * 100 + 2 * i) % 3_000) as u32,
+                            (hash64(91, round * 100 + 2 * i + 1) % 3_000) as u32,
+                        );
+                    }
+                    for i in 0..30 {
+                        let x = (hash64(92, round * 100 + 2 * i) % 3_000) as u32;
+                        let adj = engine.graph().neighbors(x);
+                        if !adj.is_empty() {
+                            let w = adj
+                                [(hash64(92, round * 100 + 2 * i + 1) % adj.len() as u64) as usize];
+                            batch.delete(x, w);
+                        }
+                    }
+                    engine.apply_batch(&batch)
+                })
+                .collect();
+            (engine.snapshot(), reports)
+        })
+    };
+    let (reference_snapshot, reference_reports) = run(1);
+    for threads in sweep_threads() {
+        let (snapshot, reports) = run(threads);
+        assert_eq!(
+            snapshot.graph.offsets(),
+            reference_snapshot.graph.offsets(),
+            "engine graph offsets changed with {threads} threads"
+        );
+        assert_eq!(
+            snapshot.graph.neighbor_array(),
+            reference_snapshot.graph.neighbor_array(),
+            "engine graph neighbors changed with {threads} threads"
+        );
+        assert_eq!(
+            snapshot.mis, reference_snapshot.mis,
+            "engine MIS changed with {threads} threads"
+        );
+        assert_eq!(
+            snapshot.matching, reference_snapshot.matching,
+            "engine matching changed with {threads} threads"
+        );
+        assert_eq!(
+            reports, reference_reports,
+            "engine batch reports changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn spanning_forest_is_prefix_and_thread_independent() {
     let edges = random_graph(2_000, 6_000, 13).to_edge_list();
     let pi = random_edge_permutation(edges.num_edges(), 14);
