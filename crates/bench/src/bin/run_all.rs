@@ -17,7 +17,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use greedy_bench::{engine_mixed_batch, run_on_threads, secs, time_best_of, HarnessConfig};
+use greedy_bench::{
+    engine_mixed_batch, merge_quick_entries, run_on_threads, secs, time_best_of, HarnessConfig,
+};
 use greedy_engine::prelude::Engine;
 use greedy_graph::csr::Graph;
 use greedy_graph::gen::random::{random_edge_list, random_graph};
@@ -177,15 +179,16 @@ fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"schema\": 1,\n  \"seed\": {},\n  \"reps\": {},\n  \"host_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
-        cfg.seed,
-        reps,
-        num_cpus::get(),
-        rows.join(",\n")
-    );
+    // Merge rather than rewrite: `serve_load` owns the `server_*` rows of
+    // the same file, and neither binary may destroy the other's trajectory.
     let path = out_dir.join("BENCH_quick.json");
-    fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    merge_quick_entries(
+        &path,
+        cfg.seed,
+        &["par_random_permutation", "csr_from_edge_list", "engine_"],
+        "run_all",
+        &rows,
+    );
     eprintln!("quick perf trajectory written to {}", path.display());
     for e in &entries {
         eprintln!(

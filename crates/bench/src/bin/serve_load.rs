@@ -1,0 +1,359 @@
+//! Load generator for the `greedy_server` update/query service.
+//!
+//! Spawns a server over a real TCP socket, then N writer clients (each
+//! submitting mixed insert/delete batches that group-commit into rounds) and
+//! M reader clients (each hammering MIS/matching membership queries against
+//! the published snapshot), for a fixed duration. Reports:
+//!
+//! * round throughput (committed rounds/s) and update throughput (submitted
+//!   and effective updates/s);
+//! * query latency percentiles (p50/p90/p99), measured per call at the
+//!   reader;
+//! * a coherence audit: the final served state must be byte-identical to a
+//!   from-scratch greedy engine on the final edge set (always), and with
+//!   `--verify` every recorded round's published snapshot is replayed and
+//!   checked the same way.
+//!
+//! The headline numbers are merged into `results/BENCH_quick.json` (entries
+//! `server_rounds_per_s`, `server_updates_per_s`, `server_query_p50_us`,
+//! `server_query_p99_us`), next to the sort/engine trajectory entries
+//! `run_all --quick` writes; re-runs replace the previous `server_*` entries
+//! instead of accumulating.
+//!
+//! ```text
+//! cargo run --release -p greedy_bench --bin serve_load -- --quick
+//! cargo run --release -p greedy_bench --bin serve_load -- --scale small \
+//!     --writers 4 --readers 4 --duration-secs 3
+//! ```
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use greedy_bench::{merge_quick_entries, Scale};
+use greedy_engine::prelude::{EdgeBatch, Engine};
+use greedy_graph::gen::random::random_graph;
+use greedy_prims::random::hash64;
+use greedy_server::prelude::*;
+
+struct LoadConfig {
+    n: usize,
+    m: usize,
+    writers: usize,
+    readers: usize,
+    batch: usize,
+    duration: Duration,
+    seed: u64,
+    /// Record every round and replay them all after shutdown.
+    verify_rounds: bool,
+    max_batch_updates: usize,
+    max_delay: Duration,
+    /// Pause between reader queries. Readers are latency *samplers*; left
+    /// unpaced (0) they are closed-loop saturators that — on small machines
+    /// — time-share the engine thread off the CPU and measure scheduler
+    /// contention instead of the service.
+    reader_pace: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            m: 500_000,
+            writers: 4,
+            readers: 4,
+            batch: 2_048,
+            duration: Duration::from_secs(3),
+            seed: 42,
+            verify_rounds: false,
+            max_batch_updates: 8_192,
+            max_delay: Duration::from_millis(2),
+            reader_pace: Duration::from_millis(1),
+        }
+    }
+}
+
+fn parse_args() -> LoadConfig {
+    let mut cfg = LoadConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v = take("--scale");
+                let scale = Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale '{v}' (tiny|small|medium|paper)"));
+                (cfg.n, cfg.m) = scale.random_size();
+            }
+            "--writers" => cfg.writers = take("--writers").parse().expect("bad --writers"),
+            "--readers" => cfg.readers = take("--readers").parse().expect("bad --readers"),
+            "--batch" => cfg.batch = take("--batch").parse().expect("bad --batch"),
+            "--duration-secs" => {
+                cfg.duration =
+                    Duration::from_secs_f64(take("--duration-secs").parse().expect("bad duration"))
+            }
+            "--seed" => cfg.seed = take("--seed").parse().expect("bad --seed"),
+            "--reader-pace-us" => {
+                cfg.reader_pace =
+                    Duration::from_micros(take("--reader-pace-us").parse().expect("bad pace"))
+            }
+            "--verify" => cfg.verify_rounds = true,
+            // CI smoke mode: tiny graph, short run, full per-round audit —
+            // finishes in a couple of seconds.
+            "--quick" => {
+                (cfg.n, cfg.m) = Scale::Tiny.random_size();
+                cfg.writers = 2;
+                cfg.readers = 2;
+                cfg.batch = 512;
+                cfg.duration = Duration::from_millis(1_500);
+                cfg.verify_rounds = true;
+                cfg.reader_pace = Duration::from_micros(300);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --scale tiny|small|medium --writers N --readers M --batch B \
+                     --duration-secs S --seed X --reader-pace-us U --verify --quick"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    assert!(cfg.writers >= 1, "need at least one writer");
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    eprintln!(
+        "== serve_load: n={} m={} writers={} readers={} batch={} duration={:?} verify={}",
+        cfg.n, cfg.m, cfg.writers, cfg.readers, cfg.batch, cfg.duration, cfg.verify_rounds
+    );
+
+    let base = random_graph(cfg.n, cfg.m, cfg.seed);
+    let engine = Engine::from_graph(&base, cfg.seed);
+    let handle = serve(
+        engine,
+        ServerConfig {
+            rounds: RoundConfig {
+                max_batch_updates: cfg.max_batch_updates,
+                max_delay: cfg.max_delay,
+            },
+            record_rounds: cfg.verify_rounds,
+        },
+    )
+    .expect("failed to start server");
+    let addr = handle.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    // Writers: alternate a fresh hashed insert batch with a deletion of the
+    // previous one, so the graph size stays bounded and both update paths
+    // (and both repair paths) run hot the whole time.
+    let writers: Vec<_> = (0..cfg.writers)
+        .map(|w| {
+            let stop = stop.clone();
+            let (n, batch, seed) = (cfg.n as u64, cfg.batch, cfg.seed);
+            thread::spawn(move || -> (u64, u64) {
+                let mut client = Client::connect(addr).expect("writer connect");
+                let mut submitted = 0u64;
+                let mut rounds_seen = 0u64;
+                let mut last_round = 0u64;
+                let mut prev: Vec<(u32, u32)> = Vec::new();
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let delta = if !prev.is_empty() && k % 2 == 1 {
+                        let batch = std::mem::take(&mut prev);
+                        submitted += batch.len() as u64;
+                        client.delete_edges(&batch).expect("writer delete")
+                    } else {
+                        let fresh: Vec<(u32, u32)> = (0..batch)
+                            .map(|i| {
+                                let key = k * batch as u64 + i as u64;
+                                (
+                                    (hash64(seed ^ (w as u64) << 32, 2 * key) % n) as u32,
+                                    (hash64(seed ^ (w as u64) << 32, 2 * key + 1) % n) as u32,
+                                )
+                            })
+                            .collect();
+                        submitted += fresh.len() as u64;
+                        let delta = client.insert_edges(&fresh).expect("writer insert");
+                        prev = fresh;
+                        delta
+                    };
+                    if delta.round > last_round {
+                        rounds_seen += 1;
+                        last_round = delta.round;
+                    }
+                    k += 1;
+                }
+                (submitted, rounds_seen)
+            })
+        })
+        .collect();
+
+    // Readers: batched membership queries against the published snapshot,
+    // individually timed.
+    let readers: Vec<_> = (0..cfg.readers)
+        .map(|r| {
+            let stop = stop.clone();
+            let (n, seed, pace) = (cfg.n as u64, cfg.seed, cfg.reader_pace);
+            thread::spawn(move || -> Vec<u64> {
+                let mut client = Client::connect(addr).expect("reader connect");
+                let mut latencies_us = Vec::new();
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let vs: Vec<u32> = (0..32)
+                        .map(|i| (hash64(seed ^ 0xBEEF ^ (r as u64), k * 32 + i) % n) as u32)
+                        .collect();
+                    let t = Instant::now();
+                    if k.is_multiple_of(2) {
+                        client.query_mis(&vs).expect("reader query");
+                    } else {
+                        client.query_matched(&vs).expect("reader query");
+                    }
+                    latencies_us.push(t.elapsed().as_micros() as u64);
+                    k += 1;
+                    if !pace.is_zero() {
+                        thread::sleep(pace);
+                    }
+                }
+                latencies_us
+            })
+        })
+        .collect();
+
+    thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut submitted = 0u64;
+    for w in writers {
+        let (s, _) = w.join().expect("writer panicked");
+        submitted += s;
+    }
+    let elapsed = started.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    for r in readers {
+        latencies.extend(r.join().expect("reader panicked"));
+    }
+    latencies.sort_unstable();
+
+    let report = handle.shutdown();
+    let stats = *report.engine.stats();
+    let effective = stats.edges_inserted + stats.edges_deleted;
+    let rounds = stats.batches;
+    let secs = elapsed.as_secs_f64();
+
+    // Coherence audit: final served state == from-scratch greedy recompute.
+    let final_graph = report.engine.snapshot().graph;
+    let scratch = Engine::from_graph(&final_graph, cfg.seed);
+    assert_eq!(
+        scratch.server_snapshot(),
+        report.engine.server_snapshot(),
+        "final served state diverges from a from-scratch recompute"
+    );
+    if cfg.verify_rounds {
+        let mut replay = Engine::from_graph(&base, cfg.seed);
+        for round in &report.rounds {
+            replay.apply_batch(&EdgeBatch {
+                insertions: round.insertions.clone(),
+                deletions: round.deletions.clone(),
+            });
+            assert_eq!(
+                replay.server_snapshot(),
+                round.snapshot.state,
+                "published snapshot of round {} diverges from replay",
+                round.round
+            );
+        }
+        eprintln!(
+            "   verified: all {} published snapshots byte-identical to replay",
+            report.rounds.len()
+        );
+    }
+
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+    };
+    let rounds_per_s = rounds as f64 / secs;
+    let submitted_per_s = submitted as f64 / secs;
+    let effective_per_s = effective as f64 / secs;
+    eprintln!("   elapsed            {secs:.3} s");
+    eprintln!("   rounds             {rounds} ({rounds_per_s:.0}/s)");
+    eprintln!(
+        "   updates submitted  {submitted} ({submitted_per_s:.0}/s), effective {effective} \
+         ({effective_per_s:.0}/s)"
+    );
+    eprintln!(
+        "   queries            {} (p50 {} us, p90 {} us, p99 {} us)",
+        latencies.len(),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99)
+    );
+
+    let clients = cfg.writers + cfg.readers;
+    let rows = vec![
+        quick_row(
+            "server_rounds_per_s",
+            clients,
+            cfg.n,
+            cfg.m,
+            rounds_per_s,
+            "rounds/s",
+        ),
+        quick_row(
+            "server_updates_per_s",
+            clients,
+            cfg.n,
+            cfg.m,
+            submitted_per_s,
+            "updates/s",
+        ),
+        quick_row(
+            "server_query_p50_us",
+            clients,
+            cfg.n,
+            cfg.m,
+            pct(0.50) as f64,
+            "us",
+        ),
+        quick_row(
+            "server_query_p99_us",
+            clients,
+            cfg.n,
+            cfg.m,
+            pct(0.99) as f64,
+            "us",
+        ),
+    ];
+    merge_quick_entries(
+        Path::new("results/BENCH_quick.json"),
+        cfg.seed,
+        &["server_"],
+        "server",
+        &rows,
+    );
+    eprintln!(
+        "   merged {} server_* entries into results/BENCH_quick.json",
+        rows.len()
+    );
+}
+
+/// One trajectory row. Unlike `run_all`'s timing rows (whose metric key is
+/// `"seconds"`), server rows carry a rate or latency, so the metric key is
+/// `"value"` with an explicit `"unit"`.
+fn quick_row(name: &str, clients: usize, n: usize, m: usize, value: f64, unit: &str) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"threads\": {clients}, \"n\": {n}, \"m\": {m}, \
+         \"value\": {value:.3}, \"unit\": \"{unit}\"}}"
+    )
+}

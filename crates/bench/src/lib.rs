@@ -359,6 +359,84 @@ pub fn print_csv_header(columns: &[&str]) {
     println!("{}", columns.join(","));
 }
 
+/// Merges `rows` (pre-rendered one-line JSON entry objects) into the
+/// `results/BENCH_quick.json` perf-trajectory file, *replacing* any existing
+/// entries whose `"name"` starts with one of `owned_prefixes` and preserving
+/// everything else — so `run_all` and `serve_load` can each refresh their own
+/// rows without destroying the other's. Creates the file when missing; if an
+/// existing file is not in the expected line-structured shape it is left
+/// untouched and the rows go to a `BENCH_quick_<suffix>.json` sidecar
+/// instead (trajectory data is never silently destroyed).
+pub fn merge_quick_entries(
+    path: &std::path::Path,
+    seed: u64,
+    owned_prefixes: &[&str],
+    sidecar_suffix: &str,
+    rows: &[String],
+) {
+    use std::fs;
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("cannot create results directory");
+    }
+    let fresh = || {
+        format!(
+            "{{\n  \"schema\": 1,\n  \"seed\": {seed},\n  \"reps\": 1,\n  \"host_threads\": {},\n  \
+             \"entries\": [\n{}\n  ]\n}}\n",
+            num_cpus::get(),
+            rows.join(",\n")
+        )
+    };
+    let owned = |line: &str| {
+        owned_prefixes
+            .iter()
+            .any(|p| line.contains(&format!("\"name\": \"{p}")))
+    };
+    let (target, content) = match fs::read_to_string(path) {
+        Ok(text) => match split_quick_entries(&text) {
+            Some((head, entries, tail)) => {
+                let mut kept: Vec<String> = entries.into_iter().filter(|e| !owned(e)).collect();
+                kept.extend(rows.iter().cloned());
+                (
+                    path.to_path_buf(),
+                    format!("{head}\n{}\n{tail}", kept.join(",\n")),
+                )
+            }
+            None => {
+                let sidecar = path.with_file_name(format!("BENCH_quick_{sidecar_suffix}.json"));
+                eprintln!(
+                    "   (existing {} not in the expected shape; leaving it intact and \
+                     writing {} instead)",
+                    path.display(),
+                    sidecar.display()
+                );
+                (sidecar, fresh())
+            }
+        },
+        Err(_) => (path.to_path_buf(), fresh()),
+    };
+    fs::write(&target, content)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", target.display()));
+}
+
+/// Splits the trajectory file into (head incl. `"entries": [`, entry lines
+/// without trailing commas, tail from `]` on). The file is line-structured
+/// by construction — one entry object per line.
+fn split_quick_entries(text: &str) -> Option<(String, Vec<String>, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let open = lines
+        .iter()
+        .position(|l| l.trim_end().ends_with("\"entries\": ["))?;
+    let close = (open + 1..lines.len()).find(|&i| lines[i].trim() == "]")?;
+    let head = lines[..=open].join("\n");
+    let entries = lines[open + 1..close]
+        .iter()
+        .map(|l| l.trim_end().trim_end_matches(',').to_string())
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    let tail = lines[close..].join("\n") + "\n";
+    Some((head, entries, tail))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

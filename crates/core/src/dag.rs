@@ -74,8 +74,68 @@ pub struct RepairStats {
     pub flips: u64,
 }
 
+/// Reusable working memory for [`repair_fixed_point_with_scratch`].
+///
+/// A repair needs two dense flag arrays over the items (the pending set and
+/// the first-touch set). Allocating and zeroing them per call costs O(n) even
+/// when the repair itself only touches O(Δ) items — the dominant cost of a
+/// tiny batch on a large structure. A `RepairScratch` keeps both arrays alive
+/// between repairs and resets them in O(items touched): the pending flags
+/// self-clear as the rounds drain, and the touched flags are cleared by
+/// walking the first-touch list. Holding one per maintained state (as
+/// `greedy_engine::Engine` does) makes a small repair's cost proportional to
+/// the affected sub-DAG, not to the whole item set.
+#[derive(Debug, Clone, Default)]
+pub struct RepairScratch {
+    pending_flag: Vec<bool>,
+    touched_flag: Vec<bool>,
+    /// Flags cleared while resetting after the last repair — the O(Δ) bound
+    /// the reuse buys, exposed so tests can assert a small repair on a large
+    /// DAG never pays an O(n) reset.
+    last_reset_items: usize,
+}
+
+impl RepairScratch {
+    /// An empty scratch; the flag arrays grow lazily to the DAG size on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for a DAG of `n` items, so the first repair does
+    /// not pay the growth either.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            pending_flag: vec![false; n],
+            touched_flag: vec![false; n],
+            last_reset_items: 0,
+        }
+    }
+
+    /// Number of flags the reset after the most recent repair had to clear —
+    /// proportional to the items that repair touched, never to the DAG size.
+    pub fn last_reset_items(&self) -> usize {
+        self.last_reset_items
+    }
+
+    /// Grows (never shrinks) the flag arrays to cover `n` items. Existing
+    /// entries are all `false` between repairs, so growth keeps the
+    /// all-clear invariant.
+    fn ensure(&mut self, n: usize) {
+        if self.pending_flag.len() < n {
+            self.pending_flag.resize(n, false);
+            self.touched_flag.resize(n, false);
+        }
+    }
+}
+
 /// Re-decides `seeds` (and everything downstream of any decision flip) under
 /// the greedy rule, mutating `accepted` in place until the fixed point.
+///
+/// Allocates fresh working memory per call; batch-dynamic callers repairing
+/// the same structure repeatedly should hold a [`RepairScratch`] and call
+/// [`repair_fixed_point_with_scratch`] so a small repair costs O(Δ), not
+/// O(n).
 ///
 /// Returns the **net** changed items — those whose final decision differs
 /// from their decision on entry — sorted ascending, plus work counters.
@@ -93,6 +153,22 @@ pub fn repair_fixed_point<D: ConflictDag>(
     accepted: &mut [bool],
     seeds: &[u32],
 ) -> (Vec<u32>, RepairStats) {
+    let mut scratch = RepairScratch::new();
+    repair_fixed_point_with_scratch(dag, accepted, seeds, &mut scratch)
+}
+
+/// [`repair_fixed_point`] with caller-owned working memory: the dense flag
+/// arrays live in `scratch` and are reset in O(items touched) on the way
+/// out, so repeated small repairs on a large DAG never pay a per-call O(n).
+///
+/// # Panics
+/// Panics if `accepted.len() != dag.len()` or a seed id is out of range.
+pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
+    dag: &D,
+    accepted: &mut [bool],
+    seeds: &[u32],
+    scratch: &mut RepairScratch,
+) -> (Vec<u32>, RepairStats) {
     let n = dag.len();
     assert_eq!(
         accepted.len(),
@@ -100,9 +176,10 @@ pub fn repair_fixed_point<D: ConflictDag>(
         "repair_fixed_point: state covers {} items but the DAG has {n}",
         accepted.len()
     );
+    scratch.ensure(n);
 
     let mut stats = RepairStats::default();
-    let mut pending_flag = vec![false; n];
+    let pending_flag = &mut scratch.pending_flag;
     let mut pending: Vec<u32> = Vec::with_capacity(seeds.len());
     for &s in seeds {
         assert!(
@@ -118,7 +195,7 @@ pub fn repair_fixed_point<D: ConflictDag>(
     // First-touch snapshot, so the net changed set can be computed without
     // copying the whole state: `touched[i]` pairs an item with its decision
     // before its first re-decision in this repair.
-    let mut touched_flag = vec![false; n];
+    let touched_flag = &mut scratch.touched_flag;
     let mut touched: Vec<(u32, bool)> = Vec::new();
 
     while !pending.is_empty() {
@@ -128,7 +205,7 @@ pub fn repair_fixed_point<D: ConflictDag>(
         // pending: its earlier conflicts cannot change this round, so its
         // decision reads a settled frontier. At least the globally earliest
         // pending item is always ready, so every round makes progress.
-        let pending_flag_ref = &pending_flag;
+        let pending_flag_ref: &[bool] = pending_flag;
         let ready: Vec<u32> = pending
             .par_iter()
             .copied()
@@ -195,10 +272,18 @@ pub fn repair_fixed_point<D: ConflictDag>(
         pending = next;
     }
 
-    let mut changed: Vec<u32> = touched
-        .into_iter()
-        .filter_map(|(v, before)| (accepted[v as usize] != before).then_some(v))
-        .collect();
+    // Reset the scratch in O(items touched): the pending flags self-cleared
+    // as the rounds drained (the loop only exits once the pending set is
+    // empty), so only the first-touch flags need clearing — and the
+    // first-touch list enumerates them exactly.
+    scratch.last_reset_items = touched.len();
+    let mut changed: Vec<u32> = Vec::new();
+    for (v, before) in touched {
+        scratch.touched_flag[v as usize] = false;
+        if accepted[v as usize] != before {
+            changed.push(v);
+        }
+    }
     changed.sort_unstable();
     (changed, stats)
 }
@@ -322,6 +407,39 @@ mod tests {
         let (changed, _) = repair_fixed_point(&dag, &mut accepted, &[4]);
         assert_eq!(mis_of(&accepted), vec![0, 2, 4, 6, 8]);
         assert_eq!(changed, vec![4], "net change is the restored vertex only");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_and_resets_in_o_delta() {
+        // A reused scratch must (a) produce exactly the same repairs as the
+        // allocating path and (b) reset in work proportional to the repair,
+        // not the DAG — the property that makes tiny batches on big graphs
+        // cheap for the batch-dynamic engine.
+        let n = 20_000;
+        let g = random_graph(n, 60_000, 9);
+        let pi = random_permutation(n, 10);
+        let dag = MisDag { graph: &g, pi: &pi };
+        let (mut fresh, _) = greedy_from_scratch(&dag);
+        let mut reused = fresh.clone();
+        let mut scratch = RepairScratch::with_capacity(dag.len());
+        for v in [5u32, 499, 13_000, 19_999] {
+            fresh[v as usize] = !fresh[v as usize];
+            reused[v as usize] = !reused[v as usize];
+            let (c1, s1) = repair_fixed_point(&dag, &mut fresh, &[v]);
+            let (c2, s2) = repair_fixed_point_with_scratch(&dag, &mut reused, &[v], &mut scratch);
+            assert_eq!(fresh, reused, "state diverged after seeding {v}");
+            assert_eq!((c1, s1), (c2, s2), "report diverged after seeding {v}");
+            assert!(
+                scratch.last_reset_items() < n / 10,
+                "single-seed repair reset {} of {n} flags",
+                scratch.last_reset_items()
+            );
+        }
+        // The scratch also drives a full from-scratch run correctly.
+        let mut rebuilt = vec![false; dag.len()];
+        let seeds: Vec<u32> = (0..dag.len() as u32).collect();
+        let _ = repair_fixed_point_with_scratch(&dag, &mut rebuilt, &seeds, &mut scratch);
+        assert_eq!(rebuilt, fresh);
     }
 
     #[test]

@@ -13,13 +13,14 @@
 //! property the equivalence test suite checks against the static algorithms
 //! — and they are byte-identical across thread counts.
 
-use greedy_core::dag::RepairStats;
+use greedy_core::dag::{RepairScratch, RepairStats};
 use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::Edge;
 
 use crate::dyn_graph::DynGraph;
 use crate::matching::{matching_from_scratch, MatchingState};
 use crate::mis::{mis_from_scratch, repair_mis, vertex_priorities};
+use crate::snapshot::ServerSnapshot;
 
 /// A batch of edge updates, applied atomically: deletions first, then
 /// insertions (so a batch may delete and re-insert the same edge).
@@ -134,6 +135,9 @@ pub struct Engine {
     in_mis: Vec<bool>,
     /// Matching state (the maintained fixed point).
     matching: MatchingState,
+    /// MIS-repair working memory, kept across batches so a tiny batch's
+    /// repair costs O(Δ) instead of re-zeroing O(n) flag arrays per call.
+    scratch: RepairScratch,
     stats: EngineStats,
 }
 
@@ -154,7 +158,8 @@ impl Engine {
     fn from_dyn_graph(graph: DynGraph, seed: u64) -> Self {
         let n = graph.num_vertices();
         let vertex_prio = vertex_priorities(n, seed);
-        let (in_mis, mis_stats) = mis_from_scratch(&graph, &vertex_prio);
+        let mut scratch = RepairScratch::with_capacity(n);
+        let (in_mis, mis_stats) = mis_from_scratch(&graph, &vertex_prio, &mut scratch);
         let (matching, matching_redecisions) = matching_from_scratch(&graph, seed);
         let stats = EngineStats {
             mis_redecisions: mis_stats.decided,
@@ -167,6 +172,7 @@ impl Engine {
             vertex_prio,
             in_mis,
             matching,
+            scratch,
             stats,
         }
     }
@@ -195,8 +201,13 @@ impl Engine {
             .collect();
         seeds.sort_unstable();
         seeds.dedup();
-        let (mis_changed, mis_repair) =
-            repair_mis(&self.graph, &self.vertex_prio, &mut self.in_mis, &seeds);
+        let (mis_changed, mis_repair) = repair_mis(
+            &self.graph,
+            &self.vertex_prio,
+            &mut self.in_mis,
+            &seeds,
+            &mut self.scratch,
+        );
 
         self.stats.batches += 1;
         self.stats.edges_inserted += inserted.len() as u64;
@@ -225,9 +236,29 @@ impl Engine {
         }
     }
 
+    /// The serving-shaped export: MIS bitset + matching partner array, a
+    /// straight O(n)-word copy of the maintained state with no CSR rebuild
+    /// or per-edge work. This is what the server publishes after each round.
+    pub fn server_snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot::build(
+            self.num_edges(),
+            &self.in_mis,
+            self.matching.partners(),
+            self.matching.size(),
+        )
+    }
+
     /// Cumulative work counters.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Flags the most recent MIS repair's scratch reset cleared —
+    /// proportional to the vertices that repair touched, never to `n`
+    /// (see [`RepairScratch`]). Exposed so benches and tests can assert
+    /// small batches really pay O(Δ).
+    pub fn mis_scratch_reset_items(&self) -> usize {
+        self.scratch.last_reset_items()
     }
 
     /// The current greedy MIS, sorted ascending.
@@ -370,6 +401,29 @@ mod tests {
         assert_eq!(report.edges_deleted, 0, "absent/loop deletes ignored");
         assert!(report.mis_changed.is_empty());
         assert!(report.matching_changed.is_empty());
+    }
+
+    #[test]
+    fn small_batch_repair_resets_o_delta_scratch() {
+        // The engine-held scratch means a tiny batch's repair resets work
+        // proportional to what it touched — not an O(n) re-zeroing.
+        let n = 20_000;
+        let mut engine = Engine::from_graph(&random_graph(n, 60_000, 4), 13);
+        assert_eq!(
+            engine.mis_scratch_reset_items(),
+            n,
+            "the from-scratch build touches every vertex"
+        );
+        engine.apply_batch(&EdgeBatch::from_pairs(
+            [(0, 10_000), (1, 15_000)],
+            [(0, 10_000)],
+        ));
+        assert!(
+            engine.mis_scratch_reset_items() < n / 10,
+            "2-edge batch reset {} of {n} flags",
+            engine.mis_scratch_reset_items()
+        );
+        assert_consistent(&engine);
     }
 
     #[test]

@@ -62,10 +62,12 @@ pub mod engine;
 mod matching;
 mod mis;
 pub mod priority;
+pub mod snapshot;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::dyn_graph::DynGraph;
     pub use crate::engine::{BatchReport, EdgeBatch, Engine, EngineStats, Snapshot};
     pub use crate::priority::{edge_permutation, edge_priority, vertex_permutation};
+    pub use crate::snapshot::ServerSnapshot;
 }

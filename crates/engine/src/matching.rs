@@ -52,6 +52,12 @@ impl MatchingState {
         self.size
     }
 
+    /// The raw partner array (`u32::MAX` = unmatched) — the serving export
+    /// copies this directly.
+    pub(crate) fn partners(&self) -> &[u32] {
+        &self.partner
+    }
+
     /// True when edge `{u, v}` is currently matched.
     #[inline]
     pub fn is_matched(&self, u: u32, v: u32) -> bool {

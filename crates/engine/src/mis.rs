@@ -12,7 +12,7 @@
 //! its two endpoints, and the driver propagates transitively to later
 //! vertices whenever a decision actually flips.
 
-use greedy_core::dag::{repair_fixed_point, ConflictDag, RepairStats};
+use greedy_core::dag::{repair_fixed_point_with_scratch, ConflictDag, RepairScratch, RepairStats};
 use rayon::prelude::*;
 
 use crate::dyn_graph::DynGraph;
@@ -51,23 +51,30 @@ pub(crate) fn vertex_priorities(n: usize, seed: u64) -> Vec<u64> {
 
 /// Re-decides `seeds` (endpoints of the batch's edge changes) and everything
 /// downstream, mutating `in_mis` to the greedy fixed point on the current
-/// graph. Returns the net-changed vertices (sorted) and repair counters.
+/// graph. The engine passes its long-lived `scratch` so a tiny batch costs
+/// O(Δ), not O(n). Returns the net-changed vertices (sorted) and repair
+/// counters.
 pub(crate) fn repair_mis(
     graph: &DynGraph,
     prio: &[u64],
     in_mis: &mut [bool],
     seeds: &[u32],
+    scratch: &mut RepairScratch,
 ) -> (Vec<u32>, RepairStats) {
     let dag = MisDag { graph, prio };
-    repair_fixed_point(&dag, in_mis, seeds)
+    repair_fixed_point_with_scratch(&dag, in_mis, seeds, scratch)
 }
 
 /// Computes the greedy MIS from scratch (all vertices seeded over an
 /// all-`false` state) — used at engine construction.
-pub(crate) fn mis_from_scratch(graph: &DynGraph, prio: &[u64]) -> (Vec<bool>, RepairStats) {
+pub(crate) fn mis_from_scratch(
+    graph: &DynGraph,
+    prio: &[u64],
+    scratch: &mut RepairScratch,
+) -> (Vec<bool>, RepairStats) {
     let mut in_mis = vec![false; graph.num_vertices()];
     let seeds: Vec<u32> = (0..graph.num_vertices() as u32).collect();
-    let (_, stats) = repair_mis(graph, prio, &mut in_mis, &seeds);
+    let (_, stats) = repair_mis(graph, prio, &mut in_mis, &seeds, scratch);
     (in_mis, stats)
 }
 
@@ -93,7 +100,7 @@ mod tests {
             let g = random_graph(400, 1_500, seed);
             let dyn_g = DynGraph::from_graph(&g);
             let prio = vertex_priorities(400, seed + 7);
-            let (flags, _) = mis_from_scratch(&dyn_g, &prio);
+            let (flags, _) = mis_from_scratch(&dyn_g, &prio, &mut RepairScratch::new());
             let pi = vertex_permutation(400, seed + 7);
             assert_eq!(mis_of(&flags), sequential_mis(&g, &pi), "seed {seed}");
         }
@@ -104,15 +111,16 @@ mod tests {
         let g = random_graph(200, 500, 1);
         let mut dyn_g = DynGraph::from_graph(&g);
         let prio = vertex_priorities(200, 5);
-        let (mut flags, _) = mis_from_scratch(&dyn_g, &prio);
+        let mut scratch = RepairScratch::new();
+        let (mut flags, _) = mis_from_scratch(&dyn_g, &prio, &mut scratch);
         for (u, v) in [(0u32, 150u32), (3, 77), (180, 2)] {
             let added = dyn_g.insert_edges(&[Edge::new(u, v)]);
             if added.is_empty() {
                 continue;
             }
             let before = flags.clone();
-            let (changed, _) = repair_mis(&dyn_g, &prio, &mut flags, &[u, v]);
-            let (expected, _) = mis_from_scratch(&dyn_g, &prio);
+            let (changed, _) = repair_mis(&dyn_g, &prio, &mut flags, &[u, v], &mut scratch);
+            let (expected, _) = mis_from_scratch(&dyn_g, &prio, &mut RepairScratch::new());
             assert_eq!(flags, expected, "after inserting ({u}, {v})");
             let flipped: Vec<u32> = (0..200u32)
                 .filter(|&x| before[x as usize] != flags[x as usize])

@@ -1,0 +1,179 @@
+//! Cheap exportable state snapshots for serving layers.
+//!
+//! [`Engine::snapshot`](crate::engine::Engine::snapshot) materializes the
+//! full CSR graph plus both solution *sets* — the right shape for offline
+//! analysis, but far too heavy to rebuild after every update round when all a
+//! query front-end needs is membership lookups. [`ServerSnapshot`] is the
+//! serving-shaped export: the MIS as a packed bitset and the matching as the
+//! per-vertex partner array, both straight copies of the engine's maintained
+//! state (O(n) words, no sorting, no CSR rebuild, no per-edge work). The
+//! `greedy_server` crate publishes one behind an `Arc` after each committed
+//! round so readers answer membership queries without touching the engine.
+
+use greedy_graph::edge_list::Edge;
+
+/// An immutable membership view of the engine's maintained state: MIS bitset
+/// plus matching partner array.
+///
+/// Equality is exact state equality (bit-for-bit on the MIS, word-for-word on
+/// the partners), which is what the server's coherence tests compare against
+/// from-scratch recomputes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    num_vertices: usize,
+    num_edges: usize,
+    /// MIS membership, vertex `v` at bit `v % 64` of word `v / 64`.
+    mis_bits: Vec<u64>,
+    mis_size: usize,
+    /// Matched partner per vertex, `u32::MAX` when unmatched.
+    partner: Vec<u32>,
+    matching_size: usize,
+}
+
+impl ServerSnapshot {
+    /// Packs the engine's maintained flags into the export form.
+    pub(crate) fn build(
+        num_edges: usize,
+        in_mis: &[bool],
+        partner: &[u32],
+        matching_size: usize,
+    ) -> Self {
+        let n = in_mis.len();
+        debug_assert_eq!(partner.len(), n);
+        let mut mis_bits = vec![0u64; n.div_ceil(64)];
+        let mut mis_size = 0usize;
+        for (v, &m) in in_mis.iter().enumerate() {
+            if m {
+                mis_bits[v / 64] |= 1 << (v % 64);
+                mis_size += 1;
+            }
+        }
+        Self {
+            num_vertices: n,
+            num_edges,
+            mis_bits,
+            mis_size,
+            partner: partner.to_vec(),
+            matching_size,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges present when the snapshot was taken.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Size of the MIS.
+    pub fn mis_size(&self) -> usize {
+        self.mis_size
+    }
+
+    /// Number of matched edges.
+    pub fn matching_size(&self) -> usize {
+        self.matching_size
+    }
+
+    /// True when vertex `v` is in the MIS.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn in_mis(&self, v: u32) -> bool {
+        assert!(
+            (v as usize) < self.num_vertices,
+            "ServerSnapshot::in_mis: vertex {v} out of range for n={}",
+            self.num_vertices
+        );
+        self.mis_bits[v as usize / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// The matched partner of vertex `v`, or `None` when unmatched.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn partner_of(&self, v: u32) -> Option<u32> {
+        let p = self.partner[v as usize];
+        (p != u32::MAX).then_some(p)
+    }
+
+    /// The packed MIS bitset (64 vertices per word).
+    pub fn mis_bits(&self) -> &[u64] {
+        &self.mis_bits
+    }
+
+    /// The per-vertex partner array (`u32::MAX` = unmatched).
+    pub fn partners(&self) -> &[u32] {
+        &self.partner
+    }
+
+    /// Unpacks the MIS as a sorted vertex list.
+    pub fn mis_vertices(&self) -> Vec<u32> {
+        (0..self.num_vertices as u32)
+            .filter(|&v| self.in_mis(v))
+            .collect()
+    }
+
+    /// The matching as canonical edges, sorted lexicographically.
+    pub fn matched_edges(&self) -> Vec<Edge> {
+        self.partner
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| p != u32::MAX && (v as u32) < p)
+            .map(|(v, &p)| Edge::new(v as u32, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{EdgeBatch, Engine};
+    use greedy_graph::gen::random::random_graph;
+
+    #[test]
+    fn export_agrees_with_full_snapshot() {
+        let mut engine = Engine::from_graph(&random_graph(300, 900, 2), 17);
+        for round in 0..3u32 {
+            let export = engine.server_snapshot();
+            let full = engine.snapshot();
+            assert_eq!(export.mis_vertices(), full.mis, "round {round}");
+            assert_eq!(export.matched_edges(), full.matching, "round {round}");
+            assert_eq!(export.mis_size(), full.mis.len());
+            assert_eq!(export.matching_size(), full.matching.len());
+            assert_eq!(export.num_edges(), engine.num_edges());
+            engine.apply_batch(&EdgeBatch::from_pairs(
+                [(round, 200 + round), (round + 50, 250 + round)],
+                [(round, 200 + round)],
+            ));
+        }
+    }
+
+    #[test]
+    fn membership_queries_match_engine() {
+        let engine = Engine::from_graph(&random_graph(257, 700, 5), 3);
+        let snap = engine.server_snapshot();
+        for v in 0..257u32 {
+            assert_eq!(snap.in_mis(v), engine.in_mis(v), "vertex {v}");
+        }
+        for e in snap.matched_edges() {
+            assert_eq!(snap.partner_of(e.u), Some(e.v));
+            assert_eq!(snap.partner_of(e.v), Some(e.u));
+        }
+        // 257 vertices is odd, so a perfect matching is impossible and some
+        // vertex must report no partner.
+        let unmatched = (0..257u32).find(|&v| snap.partner_of(v).is_none());
+        assert!(unmatched.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_query_panics() {
+        let engine = Engine::new(4, 1);
+        engine.server_snapshot().in_mis(4);
+    }
+}

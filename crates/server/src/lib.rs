@@ -1,0 +1,67 @@
+//! # greedy-server
+//!
+//! A batching update/query TCP service over the batch-dynamic
+//! [`greedy_engine`]: the serving layer the ROADMAP's traffic goal asks for,
+//! built on `std` alone (`std::net` sockets, `std::thread` workers,
+//! `std::sync` publication — deliberately no third-party dependencies, see
+//! this crate's `Cargo.toml`).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  writers ──▶ staging buffer ──▶ engine thread ──▶ apply_batch (1/round)
+//!    (TCP)        (mutex'd)      [rounds.rs]           │
+//!                                                      ▼
+//!  readers ◀── Arc<PublishedSnapshot> ◀── SnapshotCell::publish
+//!    (TCP)      [snapshot.rs, swap-only lock]
+//! ```
+//!
+//! * [`protocol`] — length-prefixed binary frames; requests
+//!   `InsertEdges` / `DeleteEdges` / `QueryMis` / `QueryMatched` / `Stats` /
+//!   `Shutdown`, typed responses carrying the batch round id.
+//! * [`rounds`] — the group-commit scheduler: concurrent writers stage
+//!   updates, a dedicated engine thread drains them into one
+//!   [`Engine::apply_batch`](greedy_engine::engine::Engine::apply_batch) per
+//!   round (flush on batch size or delay), and every writer learns its
+//!   round's delta.
+//! * [`snapshot`] — after each round an immutable MIS-bitset + partner-array
+//!   snapshot is swapped into a shared slot; queries read the `Arc` and never
+//!   block on repairs.
+//! * [`serve`] — the `std::net` front-end (thread-per-connection accept
+//!   loop), plus the typed [`Client`](serve::Client) the tests and the
+//!   `serve_load` load generator drive the server with.
+//!
+//! ## Example
+//!
+//! ```
+//! use greedy_engine::prelude::Engine;
+//! use greedy_server::serve::{serve, Client, ServerConfig};
+//!
+//! let handle = serve(Engine::new(100, 7), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//!
+//! let delta = client.insert_edges(&[(1, 2), (2, 3)]).unwrap();
+//! assert!(delta.round >= 1);
+//! let (round, bits) = client.query_mis(&[1, 2, 3]).unwrap();
+//! assert!(round >= delta.round);
+//! assert_eq!(bits.len(), 3);
+//!
+//! let report = handle.shutdown();
+//! assert_eq!(report.engine.num_edges(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+pub mod rounds;
+pub mod serve;
+pub mod snapshot;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::protocol::{Request, Response, RoundDelta, StatsReply};
+    pub use crate::rounds::{CommittedRound, RoundConfig, RoundScheduler};
+    pub use crate::serve::{serve, serve_on, Client, ServerConfig, ServerHandle, ShutdownReport};
+    pub use crate::snapshot::{PublishedSnapshot, SnapshotCell};
+}

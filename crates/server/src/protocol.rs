@@ -1,0 +1,515 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every message is one frame: a little-endian `u32` payload length, then the
+//! payload — a one-byte tag followed by the tag's fixed-layout body. Integers
+//! are little-endian; lists are a `u32` count followed by the elements. The
+//! same framing carries [`Request`]s client→server and [`Response`]s
+//! server→client, so both sides share one reader/writer pair.
+//!
+//! Robustness rules, enforced by [`read_frame`] and the decoders:
+//!
+//! * a frame longer than [`MAX_FRAME_LEN`] is rejected before any allocation
+//!   (a lying length prefix cannot balloon memory);
+//! * a payload must be consumed *exactly* — trailing bytes, truncated lists,
+//!   and unknown tags all decode to `InvalidData`;
+//! * list counts are checked against the bytes actually present before the
+//!   list is allocated.
+//!
+//! On a malformed frame the server answers with [`Response::Error`] and
+//! closes the connection; well-formed traffic on other connections is
+//! unaffected.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload length (16 MiB — a 1M-edge batch is
+/// ~8 MB, so real traffic fits with headroom).
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Hard ceiling on vertices per membership query (2M). Responses echo one
+/// `u32` per queried vertex plus a fixed header, so this bound keeps every
+/// legal query's *response* safely under [`MAX_FRAME_LEN`] too — without it
+/// a maximum-size request could demand a response just over the frame cap.
+/// The server answers oversized queries with a domain `Error` and keeps the
+/// connection open.
+pub const MAX_QUERY_VERTICES: usize = 1 << 21;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Stage edge insertions; answered with [`Response::Committed`] once the
+    /// round containing them has been applied.
+    InsertEdges(Vec<(u32, u32)>),
+    /// Stage edge deletions; answered like insertions.
+    DeleteEdges(Vec<(u32, u32)>),
+    /// MIS membership of the listed vertices, from the published snapshot.
+    QueryMis(Vec<u32>),
+    /// Matched partner of the listed vertices, from the published snapshot.
+    QueryMatched(Vec<u32>),
+    /// Server/engine counters.
+    Stats,
+    /// Ask the server to shut down (staged updates are still committed).
+    Shutdown,
+}
+
+/// What a committed round did for the updates a writer contributed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundDelta {
+    /// Id of the round the updates landed in.
+    pub round: u64,
+    /// Effective insertions across the whole round.
+    pub inserted: u64,
+    /// Effective deletions across the whole round.
+    pub deleted: u64,
+    /// Vertices whose MIS membership flipped in the round.
+    pub mis_changed: u64,
+    /// Edges whose matching membership flipped in the round.
+    pub matching_changed: u64,
+}
+
+/// Server/engine counters, read from the published snapshot (never from the
+/// engine thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Round id of the snapshot the numbers describe.
+    pub round: u64,
+    /// Vertices in the graph.
+    pub num_vertices: u64,
+    /// Edges currently present.
+    pub num_edges: u64,
+    /// Current MIS size.
+    pub mis_size: u64,
+    /// Current matching size.
+    pub matching_size: u64,
+    /// Batches (rounds) the engine has applied.
+    pub batches: u64,
+    /// Cumulative effective edge insertions.
+    pub edges_inserted: u64,
+    /// Cumulative effective edge deletions.
+    pub edges_deleted: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The round containing the writer's updates has been applied and its
+    /// snapshot published.
+    Committed(RoundDelta),
+    /// MIS membership bits, one per queried vertex, plus the snapshot round.
+    MisMembership {
+        /// Round id of the snapshot that answered the query.
+        round: u64,
+        /// Membership of each queried vertex, in query order.
+        in_mis: Vec<bool>,
+    },
+    /// Matched partners (`u32::MAX` = unmatched), plus the snapshot round.
+    Matched {
+        /// Round id of the snapshot that answered the query.
+        round: u64,
+        /// Partner of each queried vertex, in query order.
+        partners: Vec<u32>,
+    },
+    /// Counters.
+    Stats(StatsReply),
+    /// Acknowledges a [`Request::Shutdown`]; the connection closes after.
+    ShuttingDown,
+    /// The request could not be served; the connection closes after a
+    /// protocol-level error, stays open for domain errors (e.g. a vertex id
+    /// out of range).
+    Error(String),
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_list_len(buf: &mut Vec<u8>, len: usize) {
+    put_u32(buf, u32::try_from(len).expect("list longer than u32::MAX"));
+}
+
+fn put_pairs(buf: &mut Vec<u8>, pairs: &[(u32, u32)]) {
+    put_list_len(buf, pairs.len());
+    for &(u, v) in pairs {
+        put_u32(buf, u);
+        put_u32(buf, v);
+    }
+}
+
+fn put_vertices(buf: &mut Vec<u8>, vs: &[u32]) {
+    put_list_len(buf, vs.len());
+    for &v in vs {
+        put_u32(buf, v);
+    }
+}
+
+impl Request {
+    /// Serializes the request payload (tag + body, without the length
+    /// prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::InsertEdges(pairs) => {
+                buf.push(1);
+                put_pairs(&mut buf, pairs);
+            }
+            Request::DeleteEdges(pairs) => {
+                buf.push(2);
+                put_pairs(&mut buf, pairs);
+            }
+            Request::QueryMis(vs) => {
+                buf.push(3);
+                put_vertices(&mut buf, vs);
+            }
+            Request::QueryMatched(vs) => {
+                buf.push(4);
+                put_vertices(&mut buf, vs);
+            }
+            Request::Stats => buf.push(5),
+            Request::Shutdown => buf.push(6),
+        }
+        buf
+    }
+
+    /// Parses a request payload. Fails with `InvalidData` on unknown tags,
+    /// truncation, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            1 => Request::InsertEdges(c.pairs()?),
+            2 => Request::DeleteEdges(c.pairs()?),
+            3 => Request::QueryMis(c.vertices()?),
+            4 => Request::QueryMatched(c.vertices()?),
+            5 => Request::Stats,
+            6 => Request::Shutdown,
+            tag => return Err(malformed(format!("unknown request tag {tag}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (tag + body, without the length
+    /// prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Committed(d) => {
+                buf.push(1);
+                put_u64(&mut buf, d.round);
+                put_u64(&mut buf, d.inserted);
+                put_u64(&mut buf, d.deleted);
+                put_u64(&mut buf, d.mis_changed);
+                put_u64(&mut buf, d.matching_changed);
+            }
+            Response::MisMembership { round, in_mis } => {
+                buf.push(2);
+                put_u64(&mut buf, *round);
+                put_list_len(&mut buf, in_mis.len());
+                buf.extend(in_mis.iter().map(|&b| b as u8));
+            }
+            Response::Matched { round, partners } => {
+                buf.push(3);
+                put_u64(&mut buf, *round);
+                put_vertices(&mut buf, partners);
+            }
+            Response::Stats(s) => {
+                buf.push(4);
+                for x in [
+                    s.round,
+                    s.num_vertices,
+                    s.num_edges,
+                    s.mis_size,
+                    s.matching_size,
+                    s.batches,
+                    s.edges_inserted,
+                    s.edges_deleted,
+                ] {
+                    put_u64(&mut buf, x);
+                }
+            }
+            Response::ShuttingDown => buf.push(5),
+            Response::Error(msg) => {
+                buf.push(6);
+                put_list_len(&mut buf, msg.len());
+                buf.extend_from_slice(msg.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Parses a response payload; the strictness rules match
+    /// [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            1 => Response::Committed(RoundDelta {
+                round: c.u64()?,
+                inserted: c.u64()?,
+                deleted: c.u64()?,
+                mis_changed: c.u64()?,
+                matching_changed: c.u64()?,
+            }),
+            2 => {
+                let round = c.u64()?;
+                let len = c.list_len(1)?;
+                let mut in_mis = Vec::with_capacity(len);
+                for _ in 0..len {
+                    in_mis.push(match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        b => return Err(malformed(format!("bad bool byte {b}"))),
+                    });
+                }
+                Response::MisMembership { round, in_mis }
+            }
+            3 => Response::Matched {
+                round: c.u64()?,
+                partners: c.vertices()?,
+            },
+            4 => Response::Stats(StatsReply {
+                round: c.u64()?,
+                num_vertices: c.u64()?,
+                num_edges: c.u64()?,
+                mis_size: c.u64()?,
+                matching_size: c.u64()?,
+                batches: c.u64()?,
+                edges_inserted: c.u64()?,
+                edges_deleted: c.u64()?,
+            }),
+            5 => Response::ShuttingDown,
+            6 => {
+                let len = c.list_len(1)?;
+                let bytes = c.bytes(len)?;
+                let msg = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| malformed("error message is not UTF-8".to_string()))?;
+                Response::Error(msg)
+            }
+            tag => return Err(malformed(format!("unknown response tag {tag}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ----------------------------------------------------------------- framing
+
+/// Writes one frame (length prefix + payload). The caller flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| malformed("frame too long".into()))?;
+    if len > MAX_FRAME_LEN {
+        return Err(malformed(format!("frame of {len} bytes exceeds cap")));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload. `Ok(None)` means the peer closed the stream
+/// cleanly *between* frames; mid-frame EOF, a zero length, and an oversized
+/// length are `InvalidData` errors.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read(&mut len_bytes)? {
+        0 => return Ok(None),
+        mut got => {
+            while got < 4 {
+                match r.read(&mut len_bytes[got..])? {
+                    0 => return Err(malformed("EOF inside frame length".into())),
+                    k => got += k,
+                }
+            }
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(malformed("zero-length frame".into()));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(malformed(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|_| malformed("EOF inside frame payload".into()))?;
+    Ok(Some(payload))
+}
+
+fn malformed(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Strict little-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| malformed("truncated payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a list count and checks `count * elem_size` bytes are actually
+    /// present, so a lying count cannot trigger a huge allocation.
+    fn list_len(&mut self, elem_size: usize) -> io::Result<usize> {
+        let count = self.u32()? as usize;
+        let need = count
+            .checked_mul(elem_size)
+            .ok_or_else(|| malformed("list count overflow".into()))?;
+        if self.pos + need > self.buf.len() {
+            return Err(malformed(format!(
+                "list claims {count} elements but payload has {} bytes left",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(count)
+    }
+
+    fn vertices(&mut self) -> io::Result<Vec<u32>> {
+        let len = self.list_len(4)?;
+        (0..len).map(|_| self.u32()).collect()
+    }
+
+    fn pairs(&mut self) -> io::Result<Vec<(u32, u32)>> {
+        let len = self.list_len(8)?;
+        (0..len).map(|_| Ok((self.u32()?, self.u32()?))).collect()
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::InsertEdges(vec![(0, 1), (7, 7), (u32::MAX, 3)]));
+        roundtrip_request(Request::DeleteEdges(vec![]));
+        roundtrip_request(Request::QueryMis(vec![0, 5, 9]));
+        roundtrip_request(Request::QueryMatched(vec![2]));
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Committed(RoundDelta {
+            round: 9,
+            inserted: 3,
+            deleted: 1,
+            mis_changed: 4,
+            matching_changed: 2,
+        }));
+        roundtrip_response(Response::MisMembership {
+            round: 1,
+            in_mis: vec![true, false, true],
+        });
+        roundtrip_response(Response::Matched {
+            round: 2,
+            partners: vec![u32::MAX, 0],
+        });
+        roundtrip_response(Response::Stats(StatsReply {
+            round: 4,
+            num_vertices: 10,
+            num_edges: 20,
+            mis_size: 5,
+            matching_size: 4,
+            batches: 4,
+            edges_inserted: 25,
+            edges_deleted: 5,
+        }));
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Error("nope".into()));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        // Unknown tag.
+        assert!(Request::decode(&[99]).is_err());
+        // Truncated list.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        assert!(Request::decode(&buf).is_err());
+        // Trailing garbage.
+        let mut buf = Request::Stats.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+        // Bad bool byte in a response.
+        let mut buf = vec![2u8];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(7);
+        assert!(Response::decode(&buf).is_err());
+        // Empty payload.
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn frames_enforce_length_rules() {
+        // Zero-length frame.
+        let wire = 0u32.to_le_bytes();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        // Oversized length prefix rejected before allocation.
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        // EOF between frames is a clean close...
+        assert_eq!(read_frame(&mut [].as_slice()).unwrap(), None);
+        // ...but EOF inside a frame is an error.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        wire.pop();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        let wire = [3u8, 0]; // half a length prefix
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! The round scheduler: group-committing writers into engine batches.
+//!
+//! Writers do not call the engine; they stage edge updates into a mutex'd
+//! staging buffer and block. A dedicated engine thread ([`RoundScheduler::
+//! drive`]) drains the buffer into **one** [`Engine::apply_batch`] call per
+//! round — the bulk-synchronous pseudo-streaming pattern: a round flushes as
+//! soon as [`RoundConfig::max_batch_updates`] updates have accumulated
+//! (throughput bound) or [`RoundConfig::max_delay`] after the first staged
+//! update (latency bound), whichever comes first. After the batch is applied
+//! the engine thread publishes the new snapshot and wakes every writer whose
+//! updates rode in that round with the round's [`RoundDelta`].
+//!
+//! Batching is what turns per-update costs into per-round costs: the engine's
+//! repair work is proportional to the *affected* state, and its parallel sort
+//! and merge machinery amortizes over the whole batch, so k writers' updates
+//! cost one repair, not k.
+//!
+//! Locking discipline: the staging mutex is held only to splice vectors and
+//! bump counters — never across `apply_batch`, snapshot construction, or
+//! publication. Writers therefore contend with each other only for
+//! `Vec::extend`-length critical sections, and queries (which go through
+//! [`crate::snapshot::SnapshotCell`], not this module) never touch this lock
+//! at all.
+
+use std::collections::HashMap;
+use std::mem;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use greedy_engine::prelude::{EdgeBatch, Engine};
+use greedy_graph::edge_list::Edge;
+
+use crate::protocol::RoundDelta;
+use crate::snapshot::{PublishedSnapshot, SnapshotCell};
+
+/// Flush policy for the round scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundConfig {
+    /// Flush as soon as this many updates are staged.
+    pub max_batch_updates: usize,
+    /// Flush this long after the first update of a round was staged, even if
+    /// the round is not full — bounds a lone writer's commit latency.
+    pub max_delay: Duration,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_updates: 4096,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Error returned to writers that arrive after shutdown began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuttingDown;
+
+/// One committed round, as recorded when
+/// [`crate::serve::ServerConfig::record_rounds`] is on: the exact batch the
+/// engine applied plus the snapshot published for it. Tests replay these to
+/// prove every published snapshot equals a recompute of the committed edge
+/// set.
+#[derive(Debug, Clone)]
+pub struct CommittedRound {
+    /// Round id (starts at 1; snapshot round 0 is the pre-traffic state).
+    pub round: u64,
+    /// Insertions the round applied, in staging order.
+    pub insertions: Vec<Edge>,
+    /// Deletions the round applied, in staging order.
+    pub deletions: Vec<Edge>,
+    /// The snapshot published for this round.
+    pub snapshot: std::sync::Arc<PublishedSnapshot>,
+}
+
+/// Per-round rendezvous between the engine thread and the writers waiting on
+/// that round.
+struct Slot {
+    result: Option<RoundDelta>,
+    waiters: usize,
+}
+
+struct State {
+    insertions: Vec<Edge>,
+    deletions: Vec<Edge>,
+    /// Updates staged for the open round (`insertions.len() +
+    /// deletions.len()`).
+    staged: usize,
+    /// When the open round received its first update (starts the delay
+    /// clock).
+    opened_at: Option<Instant>,
+    /// Id the currently staged updates will commit as.
+    staging_round: u64,
+    /// Highest committed round id.
+    committed_round: u64,
+    slots: HashMap<u64, Slot>,
+    shutdown: bool,
+    /// Set by the engine thread on exit; any writer still waiting then (none,
+    /// in correct operation) errors out instead of hanging.
+    engine_exited: bool,
+}
+
+/// The group-commit coordinator shared by all connection threads and the
+/// engine thread.
+pub struct RoundScheduler {
+    state: Mutex<State>,
+    /// Wakes the engine thread (staging filled, or shutdown requested).
+    engine_wake: Condvar,
+    /// Wakes writers (a round committed) — and, on engine exit, any
+    /// stragglers.
+    commit_wake: Condvar,
+    config: RoundConfig,
+}
+
+impl RoundScheduler {
+    /// A scheduler with the given flush policy.
+    pub fn new(config: RoundConfig) -> Self {
+        assert!(config.max_batch_updates >= 1, "rounds must hold an update");
+        Self {
+            state: Mutex::new(State {
+                insertions: Vec::new(),
+                deletions: Vec::new(),
+                staged: 0,
+                opened_at: None,
+                staging_round: 1,
+                committed_round: 0,
+                slots: HashMap::new(),
+                shutdown: false,
+                engine_exited: false,
+            }),
+            engine_wake: Condvar::new(),
+            commit_wake: Condvar::new(),
+            config,
+        }
+    }
+
+    /// The flush policy.
+    pub fn config(&self) -> RoundConfig {
+        self.config
+    }
+
+    /// Highest committed round id.
+    pub fn committed_round(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("scheduler poisoned")
+            .committed_round
+    }
+
+    /// Stages a writer's updates and blocks until the round containing them
+    /// commits; returns that round's delta. An empty submission stages
+    /// nothing and reports the last committed round immediately.
+    pub fn submit(
+        &self,
+        insertions: Vec<Edge>,
+        deletions: Vec<Edge>,
+    ) -> Result<RoundDelta, ShuttingDown> {
+        let count = insertions.len() + deletions.len();
+        let mut s = self.state.lock().expect("scheduler poisoned");
+        if s.shutdown {
+            return Err(ShuttingDown);
+        }
+        if count == 0 {
+            return Ok(RoundDelta {
+                round: s.committed_round,
+                ..RoundDelta::default()
+            });
+        }
+        s.insertions.extend(insertions);
+        s.deletions.extend(deletions);
+        s.staged += count;
+        let first_of_round = s.opened_at.is_none();
+        if first_of_round {
+            s.opened_at = Some(Instant::now());
+        }
+        let ticket = s.staging_round;
+        s.slots
+            .entry(ticket)
+            .or_insert(Slot {
+                result: None,
+                waiters: 0,
+            })
+            .waiters += 1;
+        // Wake the engine thread when the round fills, and on the round's
+        // first update so its delay clock is armed against a live engine
+        // wait rather than an unbounded sleep.
+        if first_of_round || s.staged >= self.config.max_batch_updates {
+            self.engine_wake.notify_one();
+        }
+        loop {
+            if let Some(slot) = s.slots.get_mut(&ticket) {
+                if let Some(delta) = slot.result {
+                    slot.waiters -= 1;
+                    if slot.waiters == 0 {
+                        s.slots.remove(&ticket);
+                    }
+                    return Ok(delta);
+                }
+            }
+            if s.engine_exited {
+                return Err(ShuttingDown);
+            }
+            s = self.commit_wake.wait(s).expect("scheduler poisoned");
+        }
+    }
+
+    /// Begins shutdown: new submissions are refused, the engine thread
+    /// commits whatever is staged in one final round and then exits.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock().expect("scheduler poisoned");
+        s.shutdown = true;
+        self.engine_wake.notify_all();
+    }
+
+    /// True once [`RoundScheduler::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.lock().expect("scheduler poisoned").shutdown
+    }
+
+    /// The engine thread's body: waits for rounds to fill (or time out, or
+    /// shutdown), applies each as one batch, publishes the round's snapshot
+    /// into `cell`, and wakes the round's writers. Returns the engine once
+    /// shutdown has drained the staging buffer, so the caller can inspect
+    /// final state.
+    ///
+    /// When `record` is given, every committed round is appended to it —
+    /// the coherence-audit mode tests and `serve_load --verify` use.
+    pub fn drive(
+        &self,
+        mut engine: Engine,
+        cell: &SnapshotCell,
+        record: Option<&Mutex<Vec<CommittedRound>>>,
+    ) -> Engine {
+        loop {
+            let (insertions, deletions, round) = {
+                let mut s = self.state.lock().expect("scheduler poisoned");
+                loop {
+                    if s.staged >= self.config.max_batch_updates {
+                        break;
+                    }
+                    if s.staged > 0 {
+                        let deadline =
+                            s.opened_at.expect("open round has a start") + self.config.max_delay;
+                        let now = Instant::now();
+                        if s.shutdown || now >= deadline {
+                            break;
+                        }
+                        let (guard, _) = self
+                            .engine_wake
+                            .wait_timeout(s, deadline - now)
+                            .expect("scheduler poisoned");
+                        s = guard;
+                    } else if s.shutdown {
+                        // Nothing staged and shutdown requested: done. Wake
+                        // any straggler so nobody waits on a dead engine.
+                        s.engine_exited = true;
+                        self.commit_wake.notify_all();
+                        return engine;
+                    } else {
+                        s = self.engine_wake.wait(s).expect("scheduler poisoned");
+                    }
+                }
+                let insertions = mem::take(&mut s.insertions);
+                let deletions = mem::take(&mut s.deletions);
+                s.staged = 0;
+                s.opened_at = None;
+                let round = s.staging_round;
+                s.staging_round += 1;
+                (insertions, deletions, round)
+            };
+
+            // All engine work happens outside the staging lock: writers keep
+            // staging the *next* round while this one is applied.
+            let batch = EdgeBatch {
+                insertions,
+                deletions,
+            };
+            let report = engine.apply_batch(&batch);
+            let snapshot = std::sync::Arc::new(PublishedSnapshot {
+                round,
+                state: engine.server_snapshot(),
+                stats: *engine.stats(),
+            });
+            cell.publish_arc(snapshot.clone());
+            if let Some(rec) = record {
+                rec.lock()
+                    .expect("round record poisoned")
+                    .push(CommittedRound {
+                        round,
+                        insertions: batch.insertions,
+                        deletions: batch.deletions,
+                        snapshot,
+                    });
+            }
+
+            let delta = RoundDelta {
+                round,
+                inserted: report.edges_inserted as u64,
+                deleted: report.edges_deleted as u64,
+                mis_changed: report.mis_changed.len() as u64,
+                matching_changed: report.matching_changed.len() as u64,
+            };
+            let mut s = self.state.lock().expect("scheduler poisoned");
+            s.committed_round = round;
+            if let Some(slot) = s.slots.get_mut(&round) {
+                slot.result = Some(delta);
+            }
+            self.commit_wake.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect()
+    }
+
+    fn spawn_engine(
+        scheduler: &Arc<RoundScheduler>,
+        cell: &Arc<SnapshotCell>,
+        n: usize,
+        seed: u64,
+    ) -> thread::JoinHandle<Engine> {
+        let engine = Engine::new(n, seed);
+        let scheduler = scheduler.clone();
+        let cell = cell.clone();
+        thread::spawn(move || scheduler.drive(engine, &cell, None))
+    }
+
+    fn fresh_cell(n: usize, seed: u64) -> Arc<SnapshotCell> {
+        let engine = Engine::new(n, seed);
+        Arc::new(SnapshotCell::new(PublishedSnapshot {
+            round: 0,
+            state: engine.server_snapshot(),
+            stats: *engine.stats(),
+        }))
+    }
+
+    #[test]
+    fn single_writer_commits_and_reads_back() {
+        let scheduler = Arc::new(RoundScheduler::new(RoundConfig {
+            max_batch_updates: 100,
+            max_delay: Duration::from_millis(1),
+        }));
+        let cell = fresh_cell(10, 3);
+        let engine = spawn_engine(&scheduler, &cell, 10, 3);
+
+        let delta = scheduler.submit(edges(&[(0, 1), (2, 3)]), vec![]).unwrap();
+        assert_eq!(delta.round, 1);
+        assert_eq!(delta.inserted, 2);
+        let snap = cell.load();
+        assert_eq!(snap.round, 1);
+        assert_eq!(snap.state.num_edges(), 2);
+
+        scheduler.shutdown();
+        let final_engine = engine.join().unwrap();
+        assert_eq!(final_engine.num_edges(), 2);
+    }
+
+    #[test]
+    fn full_round_flushes_without_waiting_for_delay() {
+        let scheduler = Arc::new(RoundScheduler::new(RoundConfig {
+            max_batch_updates: 2,
+            max_delay: Duration::from_secs(3600), // delay flush effectively off
+        }));
+        let cell = fresh_cell(10, 1);
+        let engine = spawn_engine(&scheduler, &cell, 10, 1);
+        let delta = scheduler.submit(edges(&[(0, 1), (1, 2)]), vec![]).unwrap();
+        assert_eq!(delta.round, 1);
+        scheduler.shutdown();
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_share_rounds_and_all_get_answers() {
+        let scheduler = Arc::new(RoundScheduler::new(RoundConfig {
+            max_batch_updates: 64,
+            max_delay: Duration::from_millis(1),
+        }));
+        let cell = fresh_cell(1_000, 7);
+        let engine = spawn_engine(&scheduler, &cell, 1_000, 7);
+        let writers: Vec<_> = (0..8u32)
+            .map(|w| {
+                let scheduler = scheduler.clone();
+                thread::spawn(move || {
+                    let mut rounds = Vec::new();
+                    for i in 0..20u32 {
+                        let e = edges(&[(w * 100 + i, w * 100 + i + 50)]);
+                        rounds.push(scheduler.submit(e, vec![]).unwrap().round);
+                    }
+                    rounds
+                })
+            })
+            .collect();
+        let mut all_rounds = Vec::new();
+        for w in writers {
+            let rounds = w.join().unwrap();
+            assert!(
+                rounds.windows(2).all(|p| p[0] < p[1]),
+                "a writer's rounds must be strictly increasing"
+            );
+            all_rounds.extend(rounds);
+        }
+        scheduler.shutdown();
+        let engine = engine.join().unwrap();
+        // 160 distinct edges were inserted, in far fewer than 160 rounds.
+        assert_eq!(engine.num_edges(), 160);
+        let committed = scheduler.committed_round();
+        assert!(
+            committed < 160,
+            "group commit collapsed writers into rounds"
+        );
+        assert!(all_rounds.iter().all(|&r| r >= 1 && r <= committed));
+        assert_eq!(cell.load().round, committed);
+    }
+
+    #[test]
+    fn empty_submission_answers_immediately() {
+        let scheduler = RoundScheduler::new(RoundConfig::default());
+        let delta = scheduler.submit(vec![], vec![]).unwrap();
+        assert_eq!(delta.round, 0);
+        assert_eq!(delta.inserted, 0);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_writers_but_drains_staged() {
+        let scheduler = Arc::new(RoundScheduler::new(RoundConfig {
+            max_batch_updates: 1_000_000,
+            max_delay: Duration::from_secs(3600),
+        }));
+        let cell = fresh_cell(10, 2);
+        // Stage an update that can only commit via the shutdown drain.
+        let staged = {
+            let scheduler = scheduler.clone();
+            thread::spawn(move || scheduler.submit(edges(&[(4, 5)]), vec![]))
+        };
+        // Wait until the update is actually staged before shutting down.
+        while scheduler.state.lock().unwrap().staged == 0 {
+            thread::yield_now();
+        }
+        let engine = spawn_engine(&scheduler, &cell, 10, 2);
+        scheduler.shutdown();
+        let delta = staged.join().unwrap().expect("staged update must commit");
+        assert_eq!((delta.round, delta.inserted), (1, 1));
+        let engine = engine.join().unwrap();
+        assert_eq!(engine.num_edges(), 1);
+        assert_eq!(
+            scheduler.submit(edges(&[(0, 1)]), vec![]),
+            Err(ShuttingDown)
+        );
+    }
+}

@@ -1,0 +1,571 @@
+//! The TCP front-end: accept loop, per-connection workers, and the typed
+//! [`Client`].
+//!
+//! [`serve`] binds a listener, spawns the engine thread (running
+//! [`RoundScheduler::drive`]) and a thread-per-connection accept loop, and
+//! hands back a [`ServerHandle`]. Connection threads speak the
+//! [`crate::protocol`] framing: writes go through the scheduler (blocking
+//! until their round commits), queries and stats are answered entirely from
+//! the published snapshot — they never touch the scheduler, the staging lock,
+//! or the engine.
+//!
+//! Shutdown (either [`ServerHandle::shutdown`] or a client's
+//! [`Request::Shutdown`]) is drain-then-close: the scheduler stops admitting
+//! writers, the engine thread commits whatever is staged as one final round
+//! and exits, then every connection socket is shut down so blocked readers
+//! unblock, and all threads are joined — no thread outlives the handle.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use greedy_engine::prelude::Engine;
+use greedy_graph::edge_list::Edge;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, StatsReply};
+use crate::rounds::{CommittedRound, RoundConfig, RoundScheduler};
+use crate::snapshot::{PublishedSnapshot, SnapshotCell};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Round flush policy (see [`RoundConfig`]).
+    pub rounds: RoundConfig,
+    /// Record every committed round (exact batch + published snapshot) for
+    /// post-hoc coherence audits. Costs one batch clone per round — meant
+    /// for tests and verification runs, not production serving.
+    pub record_rounds: bool,
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+struct Shared {
+    scheduler: RoundScheduler,
+    cell: SnapshotCell,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    num_vertices: usize,
+    next_conn_id: AtomicU64,
+    /// Sockets of *live* connections, keyed by connection id: a worker
+    /// removes its entry when it exits, and server exit read-shuts the rest
+    /// so blocked readers unblock without cutting off in-flight responses.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Connection worker threads; finished ones are pruned on every accept,
+    /// the rest are joined on exit.
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    record: Option<Mutex<Vec<CommittedRound>>>,
+}
+
+impl Shared {
+    /// Flags shutdown; the polling accept loop observes the flag within
+    /// [`ACCEPT_POLL`] — deliberately no self-connect nudge, which would
+    /// fail exactly when shutdown matters most (fd/port exhaustion).
+    fn trigger_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.scheduler.shutdown();
+    }
+}
+
+/// A running server: owns the engine thread, the accept loop, and every
+/// connection worker. Dropping the handle shuts the server down and joins
+/// them all; [`ServerHandle::shutdown`] does the same but returns the final
+/// engine and the recorded rounds.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    engine_thread: Option<JoinHandle<Engine>>,
+}
+
+/// What [`ServerHandle::shutdown`] hands back.
+pub struct ShutdownReport {
+    /// The engine in its final state (every committed round applied).
+    pub engine: Engine,
+    /// The committed rounds, when [`ServerConfig::record_rounds`] was on.
+    pub rounds: Vec<CommittedRound>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with the `:0` ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The latest published snapshot, as a query thread would see it.
+    pub fn snapshot(&self) -> Arc<PublishedSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// Highest committed round id.
+    pub fn committed_round(&self) -> u64 {
+        self.shared.scheduler.committed_round()
+    }
+
+    /// Drains staged updates into a final round, stops accepting, closes
+    /// every connection, joins every thread, and returns the final engine
+    /// plus the recorded rounds.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let engine = self.join_all().expect("server threads already joined");
+        let rounds = match &self.shared.record {
+            Some(rec) => std::mem::take(&mut *rec.lock().expect("round record poisoned")),
+            None => Vec::new(),
+        };
+        ShutdownReport { engine, rounds }
+    }
+
+    /// The shutdown/join sequence; returns the engine on the first call.
+    fn join_all(&mut self) -> Option<Engine> {
+        self.shared.trigger_shutdown();
+        // The engine thread exits only after committing all staged updates,
+        // so writers blocked in submit() get their answers first.
+        let engine = self
+            .engine_thread
+            .take()
+            .map(|h| h.join().expect("engine thread panicked"));
+        if let Some(h) = self.accept_thread.take() {
+            h.join().expect("accept thread panicked");
+        }
+        // Unblock idle connection readers. Read-side only: a worker that
+        // just got its round's result may still be writing the response,
+        // and that write must reach the client before the worker exits.
+        for (_, s) in self
+            .shared
+            .conn_streams
+            .lock()
+            .expect("stream registry poisoned")
+            .drain()
+        {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        // Reap the workers (each closes its own socket on the way out).
+        let workers: Vec<JoinHandle<()>> = self
+            .shared
+            .conn_handles
+            .lock()
+            .expect("worker registry poisoned")
+            .drain(..)
+            .collect();
+        for h in workers {
+            h.join().expect("connection thread panicked");
+        }
+        engine
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.engine_thread.is_some() || self.accept_thread.is_some() {
+            let _ = self.join_all();
+        }
+    }
+}
+
+/// Starts a server for `engine` on an OS-assigned local port.
+pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
+    serve_on(engine, config, "127.0.0.1:0")
+}
+
+/// Starts a server for `engine` on `addr`.
+pub fn serve_on<A: ToSocketAddrs>(
+    engine: Engine,
+    config: ServerConfig,
+    addr: A,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let shared = Arc::new(Shared {
+        scheduler: RoundScheduler::new(config.rounds),
+        cell: SnapshotCell::new(PublishedSnapshot {
+            round: 0,
+            state: engine.server_snapshot(),
+            stats: *engine.stats(),
+        }),
+        stop: AtomicBool::new(false),
+        addr: listener.local_addr()?,
+        num_vertices: engine.num_vertices(),
+        next_conn_id: AtomicU64::new(0),
+        conn_streams: Mutex::new(HashMap::new()),
+        conn_handles: Mutex::new(Vec::new()),
+        record: config.record_rounds.then(|| Mutex::new(Vec::new())),
+    });
+
+    let engine_thread = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("greedy-server-engine".into())
+            .spawn(move || {
+                shared
+                    .scheduler
+                    .drive(engine, &shared.cell, shared.record.as_ref())
+            })?
+    };
+    let accept_thread = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("greedy-server-accept".into())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+        engine_thread: Some(engine_thread),
+    })
+}
+
+/// How often the accept loop re-checks the stop flag while no connection is
+/// pending. Polling (nonblocking accept + short sleep) is what makes
+/// shutdown *unconditionally* live: the only portable way to interrupt a
+/// blocking accept(2) is a self-connect, and under the exact conditions
+/// where shutdown matters most (fd or port exhaustion) that connect fails.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Upper bound on any single response write. Commit acknowledgments are a
+/// few dozen bytes and query responses at most a few MB, so on any live
+/// peer a write finishes orders of magnitude faster than this; the bound
+/// exists so a peer that stops reading cannot block its worker forever —
+/// which would also wedge [`ServerHandle::shutdown`], since a read-side
+/// socket shutdown does not interrupt a blocked writer.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    if listener.set_nonblocking(true).is_err() {
+        // Without nonblocking accept the stop flag could never be observed;
+        // refuse connections rather than strand the shutdown path.
+        return;
+    }
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // Other accept failures — an aborted handshake, or fd exhaustion
+            // (EMFILE) that fails *instantly*: sleep here too, or the loop
+            // would busy-spin a starved machine even harder.
+            Err(_) => {
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        // The per-connection sockets do block (only the listener polls).
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        // Responses are small frames; leaving Nagle on would stall every
+        // commit acknowledgment behind the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        // A peer that stops *reading* must not wedge its worker (and thereby
+        // server shutdown) in a blocked send: bound every response write.
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        // Reap workers that already finished, so the registries stay
+        // proportional to *live* connections.
+        {
+            let mut handles = shared
+                .conn_handles
+                .lock()
+                .expect("worker registry poisoned");
+            let (done, live): (Vec<_>, Vec<_>) = handles.drain(..).partition(|h| h.is_finished());
+            *handles = live;
+            for h in done {
+                let _ = h.join();
+            }
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        // Register the socket *before* the worker runs, so the worker's
+        // deregistration can never race ahead of the registration. A
+        // connection whose socket cannot be registered (fd exhaustion) is
+        // refused outright: an unregistered worker could never be unblocked
+        // at shutdown.
+        match stream.try_clone() {
+            Ok(clone) => {
+                shared
+                    .conn_streams
+                    .lock()
+                    .expect("stream registry poisoned")
+                    .insert(conn_id, clone);
+            }
+            Err(_) => continue,
+        }
+        let worker = {
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("greedy-server-conn".into())
+                .spawn(move || handle_connection(conn_id, stream, &shared))
+        };
+        match worker {
+            Ok(handle) => shared
+                .conn_handles
+                .lock()
+                .expect("worker registry poisoned")
+                .push(handle),
+            Err(_) => {
+                shared
+                    .conn_streams
+                    .lock()
+                    .expect("stream registry poisoned")
+                    .remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// One connection's request loop: read a frame, dispatch, answer, repeat.
+/// On exit the socket is shut down explicitly — the registry holds a clone
+/// of the fd, so merely dropping our halves would leave the connection open
+/// from the client's point of view.
+fn handle_connection(conn_id: u64, stream: TcpStream, shared: &Shared) {
+    connection_loop(&stream, shared);
+    let _ = stream.shutdown(Shutdown::Both);
+    shared
+        .conn_streams
+        .lock()
+        .expect("stream registry poisoned")
+        .remove(&conn_id);
+}
+
+fn connection_loop(stream: &TcpStream, shared: &Shared) {
+    let (reader, writer) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(r), Ok(w)) => (r, w),
+        _ => return,
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close between frames, or the socket was shut down under
+            // us during server exit.
+            Ok(None) => return,
+            Err(e) => {
+                // Malformed framing: report and drop the connection — frame
+                // boundaries are unrecoverable once the prefix is wrong.
+                let _ = send(&mut writer, &Response::Error(format!("bad frame: {e}")));
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = send(&mut writer, &Response::Error(format!("bad request: {e}")));
+                return;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = dispatch(request, shared);
+        if send(&mut writer, &response).is_err() {
+            return;
+        }
+        if is_shutdown {
+            shared.trigger_shutdown();
+            return;
+        }
+    }
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()> {
+    write_frame(writer, &response.encode())?;
+    writer.flush()
+}
+
+fn dispatch(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::InsertEdges(pairs) => submit_updates(shared, &pairs, true),
+        Request::DeleteEdges(pairs) => submit_updates(shared, &pairs, false),
+        Request::QueryMis(vertices) => {
+            let snap = shared.cell.load();
+            match check_vertices(&vertices, shared.num_vertices) {
+                Some(err) => err,
+                None => Response::MisMembership {
+                    round: snap.round,
+                    in_mis: vertices.iter().map(|&v| snap.state.in_mis(v)).collect(),
+                },
+            }
+        }
+        Request::QueryMatched(vertices) => {
+            let snap = shared.cell.load();
+            match check_vertices(&vertices, shared.num_vertices) {
+                Some(err) => err,
+                None => Response::Matched {
+                    round: snap.round,
+                    partners: vertices
+                        .iter()
+                        .map(|&v| snap.state.partner_of(v).unwrap_or(u32::MAX))
+                        .collect(),
+                },
+            }
+        }
+        Request::Stats => {
+            let snap = shared.cell.load();
+            Response::Stats(StatsReply {
+                round: snap.round,
+                num_vertices: snap.state.num_vertices() as u64,
+                num_edges: snap.state.num_edges() as u64,
+                mis_size: snap.state.mis_size() as u64,
+                matching_size: snap.state.matching_size() as u64,
+                batches: snap.stats.batches,
+                edges_inserted: snap.stats.edges_inserted,
+                edges_deleted: snap.stats.edges_deleted,
+            })
+        }
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Rejects oversized queries and out-of-range vertex ids with a domain
+/// error (the connection stays usable); `None` means the query is valid.
+fn check_vertices(vertices: &[u32], n: usize) -> Option<Response> {
+    if vertices.len() > crate::protocol::MAX_QUERY_VERTICES {
+        // Bounding the query bounds the response under the frame cap.
+        return Some(Response::Error(format!(
+            "query of {} vertices exceeds the {} cap",
+            vertices.len(),
+            crate::protocol::MAX_QUERY_VERTICES
+        )));
+    }
+    vertices
+        .iter()
+        .find(|&&v| v as usize >= n)
+        .map(|&v| Response::Error(format!("vertex {v} out of range for n={n}")))
+}
+
+/// Validates and stages a writer's updates, blocking until their round
+/// commits.
+fn submit_updates(shared: &Shared, pairs: &[(u32, u32)], insert: bool) -> Response {
+    let n = shared.num_vertices;
+    if let Some(&(u, v)) = pairs
+        .iter()
+        .find(|&&(u, v)| u as usize >= n || v as usize >= n)
+    {
+        // Domain error: the connection stays usable.
+        return Response::Error(format!("edge ({u}, {v}) out of range for n={n}"));
+    }
+    let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+    let staged = if insert {
+        shared.scheduler.submit(edges, Vec::new())
+    } else {
+        shared.scheduler.submit(Vec::new(), edges)
+    };
+    match staged {
+        Ok(delta) => Response::Committed(delta),
+        Err(_) => Response::Error("server is shutting down".into()),
+    }
+}
+
+// ------------------------------------------------------------------ client
+
+/// A blocking typed client for the wire protocol. Used in-process by the
+/// tests and the `serve_load` driver, and usable from any process that can
+/// reach the socket.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Bounds how long any single call may wait for its response; writers
+    /// otherwise block for as long as their round takes to commit.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    fn unexpected(response: Response) -> io::Error {
+        match response {
+            Response::Error(msg) => io::Error::other(msg),
+            other => io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            ),
+        }
+    }
+
+    /// Stages insertions; blocks until their round commits.
+    pub fn insert_edges(
+        &mut self,
+        pairs: &[(u32, u32)],
+    ) -> io::Result<crate::protocol::RoundDelta> {
+        match self.call(&Request::InsertEdges(pairs.to_vec()))? {
+            Response::Committed(d) => Ok(d),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Stages deletions; blocks until their round commits.
+    pub fn delete_edges(
+        &mut self,
+        pairs: &[(u32, u32)],
+    ) -> io::Result<crate::protocol::RoundDelta> {
+        match self.call(&Request::DeleteEdges(pairs.to_vec()))? {
+            Response::Committed(d) => Ok(d),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// MIS membership of `vertices` from the published snapshot; returns the
+    /// snapshot's round id and one bit per queried vertex.
+    pub fn query_mis(&mut self, vertices: &[u32]) -> io::Result<(u64, Vec<bool>)> {
+        match self.call(&Request::QueryMis(vertices.to_vec()))? {
+            Response::MisMembership { round, in_mis } => Ok((round, in_mis)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Matched partners of `vertices` (`None` = unmatched) from the published
+    /// snapshot, with its round id.
+    pub fn query_matched(&mut self, vertices: &[u32]) -> io::Result<(u64, Vec<Option<u32>>)> {
+        match self.call(&Request::QueryMatched(vertices.to_vec()))? {
+            Response::Matched { round, partners } => Ok((
+                round,
+                partners
+                    .into_iter()
+                    .map(|p| (p != u32::MAX).then_some(p))
+                    .collect(),
+            )),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Server/engine counters from the published snapshot.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down (staged updates still commit).
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

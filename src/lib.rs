@@ -15,6 +15,10 @@
 //!   (`speculative_for`) framework and reservation-based MIS/MM backends.
 //! * [`greedy_apps`] — applications: graph coloring, task scheduling,
 //!   vertex cover, spanning forest.
+//! * [`greedy_engine`] — batch-dynamic maintenance of greedy MIS/matching
+//!   under streaming edge-update batches.
+//! * [`greedy_server`] — batching update/query TCP service over the engine
+//!   (group-committed rounds, snapshot-published reads).
 //!
 //! This crate re-exports those crates and provides a [`prelude`] so examples
 //! and downstream users can `use greedy_parallel::prelude::*;`.
@@ -44,6 +48,7 @@ pub use greedy_engine;
 pub use greedy_graph;
 pub use greedy_prims;
 pub use greedy_reservations;
+pub use greedy_server;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -67,7 +72,7 @@ pub mod prelude {
     pub use greedy_core::ordering::{random_edge_permutation, random_permutation};
     pub use greedy_core::stats::WorkStats;
     pub use greedy_engine::prelude::{
-        BatchReport, DynGraph, EdgeBatch, Engine, EngineStats, Snapshot,
+        BatchReport, DynGraph, EdgeBatch, Engine, EngineStats, ServerSnapshot, Snapshot,
     };
     pub use greedy_graph::csr::Graph;
     pub use greedy_graph::edge_list::EdgeList;
