@@ -18,12 +18,14 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use greedy_bench::{
-    engine_mixed_batch, merge_quick_entries, run_on_threads, secs, time_best_of, HarnessConfig,
+    engine_matching_heavy_batch, engine_mixed_batch, merge_quick_entries, run_on_threads, secs,
+    time_best_of, HarnessConfig,
 };
-use greedy_engine::prelude::Engine;
+use greedy_engine::prelude::{DynGraph, Engine};
 use greedy_graph::csr::Graph;
 use greedy_graph::gen::random::{random_edge_list, random_graph};
 use greedy_prims::permutation::par_random_permutation;
+use greedy_prims::random::hash64;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -106,14 +108,15 @@ struct QuickEntry {
     seconds: f64,
 }
 
-/// Times the permutation and CSR-build hot paths plus the batch-dynamic
-/// engine's batch-update path at 1 thread and at the machine's full
-/// parallelism, and writes `results/BENCH_quick.json`.
+/// Times the permutation and CSR-build hot paths, the batch-dynamic engine's
+/// mixed-batch and matching-heavy update paths (1 thread and the machine's
+/// full parallelism), and the flat-vs-nested membership-probe microbench,
+/// and writes `results/BENCH_quick.json`.
 ///
 /// Sizes are fixed (1M-element permutation, 100k/500k uniform graph, 1k-edge
-/// engine batches) regardless of `--scale`, so the numbers are comparable
-/// across runs and across PRs; at these sizes the whole sweep takes a few
-/// seconds.
+/// engine batches, 1M membership probes) regardless of `--scale`, so the
+/// numbers are comparable across runs and across PRs; at these sizes the
+/// whole sweep takes a few seconds.
 fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
     const PERM_N: usize = 1_000_000;
     const CSR_N: usize = 100_000;
@@ -168,6 +171,87 @@ fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
             m: engine_edges,
             seconds: secs(engine_time),
         });
+        // Matching-heavy stream: the deletions target currently *matched*
+        // edges, so every batch drives the matching's round-machinery
+        // repair (freed slots + reseeded neighborhoods) — this entry tracks
+        // the matching path separately from the mixed-batch entry above.
+        let (match_time, match_edges) = run_on_threads(threads, || {
+            let base = random_graph(CSR_N, CSR_M, cfg.seed);
+            let mut engine = Engine::from_graph(&base, cfg.seed);
+            let start = std::time::Instant::now();
+            for round in 1..=ENGINE_ROUNDS {
+                let batch =
+                    engine_matching_heavy_batch(&engine, round, ENGINE_BATCH, ENGINE_BATCH / 2);
+                engine.apply_batch(&batch);
+            }
+            (start.elapsed() / ENGINE_ROUNDS as u32, engine.num_edges())
+        });
+        entries.push(QuickEntry {
+            name: "engine_matching_repair_1500",
+            threads,
+            n: CSR_N,
+            m: match_edges,
+            seconds: secs(match_time),
+        });
+    }
+
+    // Storage-layout microbench: the same random membership probes against
+    // the engine's flat slack-CSR arena and against the old nested
+    // `Vec<Vec<u32>>` layout. Sequential by design (a probe is one lookup),
+    // so one entry each. Note the nested baseline is measured at its best —
+    // freshly cloned, so its per-vertex buffers come out of the allocator
+    // nearly contiguous; the flat arena's advantage is that its layout
+    // cannot fragment as the graph churns, so the flat entry's trajectory
+    // is the one that must stay flat over time.
+    {
+        const PROBES: u64 = 1_000_000;
+        let graph = random_graph(CSR_N, CSR_M, cfg.seed);
+        let flat = DynGraph::from_graph(&graph);
+        let nested: Vec<Vec<u32>> = graph.to_adjacency_lists();
+        let probe_pair = |i: u64| {
+            (
+                (hash64(cfg.seed ^ 0x9E0B, 2 * i) % CSR_N as u64) as u32,
+                (hash64(cfg.seed ^ 0x9E0B, 2 * i + 1) % CSR_N as u64) as u32,
+            )
+        };
+        let (flat_time, flat_hits) = time_best_of(reps, || {
+            (0..PROBES)
+                .filter(|&i| {
+                    let (u, v) = probe_pair(i);
+                    flat.has_edge(u, v)
+                })
+                .count()
+        });
+        let (nested_time, nested_hits) = time_best_of(reps, || {
+            (0..PROBES)
+                .filter(|&i| {
+                    let (u, v) = probe_pair(i);
+                    u != v && {
+                        let (a, b) = if nested[u as usize].len() <= nested[v as usize].len() {
+                            (u, v)
+                        } else {
+                            (v, u)
+                        };
+                        nested[a as usize].binary_search(&b).is_ok()
+                    }
+                })
+                .count()
+        });
+        assert_eq!(flat_hits, nested_hits, "probe layouts disagree");
+        entries.push(QuickEntry {
+            name: "membership_probe_flat",
+            threads: 1,
+            n: CSR_N,
+            m: graph.num_edges(),
+            seconds: secs(flat_time),
+        });
+        entries.push(QuickEntry {
+            name: "membership_probe_nested",
+            threads: 1,
+            n: CSR_N,
+            m: graph.num_edges(),
+            seconds: secs(nested_time),
+        });
     }
 
     let rows: Vec<String> = entries
@@ -185,7 +269,12 @@ fn write_quick_bench(cfg: &HarnessConfig, out_dir: &Path) {
     merge_quick_entries(
         &path,
         cfg.seed,
-        &["par_random_permutation", "csr_from_edge_list", "engine_"],
+        &[
+            "par_random_permutation",
+            "csr_from_edge_list",
+            "engine_",
+            "membership_probe",
+        ],
         "run_all",
         &rows,
     );

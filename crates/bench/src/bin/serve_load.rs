@@ -258,23 +258,36 @@ fn main() {
         "final served state diverges from a from-scratch recompute"
     );
     if cfg.verify_rounds {
+        // Replay every recorded round and compare each published snapshot.
+        // All mismatches are collected (not just the first), reported, and
+        // turned into a nonzero exit so CI fails the job on any
+        // non-identical replayed snapshot.
         let mut replay = Engine::from_graph(&base, cfg.seed);
+        let mut mismatched: Vec<u64> = Vec::new();
         for round in &report.rounds {
             replay.apply_batch(&EdgeBatch {
                 insertions: round.insertions.clone(),
                 deletions: round.deletions.clone(),
             });
-            assert_eq!(
-                replay.server_snapshot(),
-                round.snapshot.state,
-                "published snapshot of round {} diverges from replay",
-                round.round
-            );
+            if replay.server_snapshot() != round.snapshot.state {
+                mismatched.push(round.round);
+            }
         }
-        eprintln!(
-            "   verified: all {} published snapshots byte-identical to replay",
-            report.rounds.len()
-        );
+        if mismatched.is_empty() {
+            eprintln!(
+                "   verified: all {} published snapshots byte-identical to replay",
+                report.rounds.len()
+            );
+        } else {
+            eprintln!(
+                "   VERIFY FAILED: {} of {} published snapshots diverge from replay \
+                 (rounds {:?})",
+                mismatched.len(),
+                report.rounds.len(),
+                mismatched
+            );
+            std::process::exit(1);
+        }
     }
 
     let pct = |p: f64| -> u64 {

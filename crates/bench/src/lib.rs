@@ -315,6 +315,37 @@ pub fn engine_mixed_batch(engine: &Engine, round: u64, inserts: u64, deletes: u6
     batch
 }
 
+/// A deterministic *matching-heavy* engine batch: `inserts` hashed endpoint
+/// pairs plus `deletes` edges sampled from the engine's **current matching**.
+/// Deleting matched edges is the expensive matching-repair case — every
+/// deletion frees both endpoints and reseeds their whole surviving
+/// neighborhoods — so streams built from this batch keep the matching's
+/// round-machinery repair hot rather than letting deletions fall on
+/// unmatched edges that need no repair at all.
+pub fn engine_matching_heavy_batch(
+    engine: &Engine,
+    round: u64,
+    inserts: u64,
+    deletes: u64,
+) -> EdgeBatch {
+    let n = engine.num_vertices() as u64;
+    let mut batch = EdgeBatch::new();
+    for i in 0..inserts {
+        batch.insert(
+            (hash64(round ^ 0x3A7C, 2 * i) % n) as u32,
+            (hash64(round ^ 0x3A7C, 2 * i + 1) % n) as u32,
+        );
+    }
+    let matched = engine.matching();
+    for i in 0..deletes {
+        if !matched.is_empty() {
+            let e = matched[(hash64(round ^ 0x4DA7, 2 * i) % matched.len() as u64) as usize];
+            batch.delete(e.u, e.v);
+        }
+    }
+    batch
+}
+
 /// Runs `f` `reps` times and returns the best (minimum) wall-clock duration
 /// together with the result of the final run.
 pub fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {

@@ -31,6 +31,16 @@
 //!   can only propagate from an item to *later* items, so re-deciding the
 //!   seeds and their downstream suffices).
 //!
+//! The driver keeps its work proportional to the affected sub-DAG: pending
+//! items carry incrementally-maintained in-degree counters (earlier pending
+//! conflicts), so the per-round ready test is a zero check rather than a
+//! conflict-list rescan, and a flip wakes only the later conflicts whose
+//! decision would actually change against the current state. Implementations
+//! can further override [`ConflictDag::decide`] (with auxiliary state kept
+//! via [`ConflictDag::on_flip`]) and the pending-conflict walk — the
+//! engine's edge-slot matching uses both to make decisions O(1) and
+//! bookkeeping O(pending incident).
+//!
 //! Every parallel step is deterministic (order-preserving parallel maps, no
 //! data races), so the repaired state is byte-identical across thread counts.
 
@@ -39,9 +49,19 @@ use rayon::prelude::*;
 /// A set of items with fixed priorities and a symmetric conflict relation.
 ///
 /// Implementors provide the *structure*; the greedy rule itself lives in
-/// [`repair_fixed_point`]. Priorities must be a total order (ties broken by
-/// the second component) that does not change while a repair is running.
+/// [`repair_fixed_point`]. Priorities must be a total order that does not
+/// change while a repair is running.
+///
+/// The priority key is an associated type so that differently-indexed item
+/// spaces keep their natural tie-breaking: vertex-indexed DAGs (MIS) use
+/// `(u64, u32)` — random hash then vertex id — while edge-indexed DAGs (the
+/// engine's matching over stable edge slots) use `(u64, u64)` — random hash
+/// then the packed canonical endpoint key, so the order is a property of the
+/// *edge*, not of the slot its current incarnation happens to occupy.
 pub trait ConflictDag: Sync {
+    /// The priority key; lexicographically smaller = earlier (decided first).
+    type Priority: Ord + Copy + Send + Sync;
+
     /// Number of items. Items are dense ids `0..len()`.
     fn len(&self) -> usize;
 
@@ -50,14 +70,68 @@ pub trait ConflictDag: Sync {
         self.len() == 0
     }
 
-    /// The priority key of `item`; lexicographically smaller = earlier
-    /// (decided first). Must be distinct across items — pair a random hash
-    /// with the item id to break ties.
-    fn priority(&self, item: u32) -> (u64, u32);
+    /// The priority key of `item`. Must be distinct across all items that can
+    /// conflict or be seeded — pair a random hash with a per-item unique
+    /// component to break ties. (Items that are never seeded and conflict
+    /// with nothing — e.g. free slots of an edge-slot DAG — are inert and may
+    /// share a sentinel key.)
+    fn priority(&self, item: u32) -> Self::Priority;
 
     /// Calls `f` on every item conflicting with `item` (both earlier and
     /// later ones; the driver filters by priority).
     fn for_each_conflict(&self, item: u32, f: &mut dyn FnMut(u32));
+
+    /// The greedy rule for `item` against the current `accepted` state:
+    /// accepted iff no earlier conflicting item is. The default scans the
+    /// conflict list; implementations that maintain auxiliary state through
+    /// [`ConflictDag::on_flip`] can override it with an O(1) test (the
+    /// engine's matching keeps the per-vertex earliest accepted incident
+    /// edge, so its test reads two partner entries instead of walking two
+    /// adjacency lists). An override must return exactly what the default
+    /// would — the driver's correctness argument depends on the rule, not
+    /// on how it is evaluated.
+    fn decide(&self, item: u32, accepted: &[bool]) -> bool {
+        let p = self.priority(item);
+        let mut blocked = false;
+        self.for_each_conflict(item, &mut |w| {
+            if accepted[w as usize] && self.priority(w) < p {
+                blocked = true;
+            }
+        });
+        !blocked
+    }
+
+    /// Hook invoked by the driver immediately after it applies a decision
+    /// flip of `item` (its flag in `accepted` is already updated). Sequential
+    /// and deterministic; implementations use it to keep the auxiliary state
+    /// behind a custom [`ConflictDag::decide`] in sync. The default does
+    /// nothing.
+    fn on_flip(&mut self, _item: u32, _accepted_now: bool, _accepted: &[bool]) {}
+
+    /// Calls `f` on every **pending** item conflicting with `item` — the
+    /// walk behind the driver's in-degree bookkeeping. The default filters
+    /// [`ConflictDag::for_each_conflict`] through the flag array; an
+    /// implementation that indexes its pending conflicts (the engine's
+    /// matching keeps per-vertex pending-slot lists) can override it so the
+    /// walk costs O(pending incident) instead of O(degree). Must enumerate
+    /// exactly the pending conflicts, each once — duplicates would corrupt
+    /// the in-degree counters.
+    fn for_each_pending_conflict(&self, item: u32, pending_flag: &[bool], f: &mut dyn FnMut(u32)) {
+        self.for_each_conflict(item, &mut |w| {
+            if pending_flag[w as usize] {
+                f(w);
+            }
+        });
+    }
+
+    /// Hook invoked when `item` joins the pending set, *after* the driver's
+    /// in-degree count walk (so a custom pending index never shows an item
+    /// its own entry walk). Default does nothing.
+    fn on_enter_pending(&mut self, _item: u32) {}
+
+    /// Hook invoked when `item` leaves the pending set (decided, before the
+    /// release walks of its round). Default does nothing.
+    fn on_retire_pending(&mut self, _item: u32) {}
 }
 
 /// Work counters reported by [`repair_fixed_point`].
@@ -76,11 +150,13 @@ pub struct RepairStats {
 
 /// Reusable working memory for [`repair_fixed_point_with_scratch`].
 ///
-/// A repair needs two dense flag arrays over the items (the pending set and
-/// the first-touch set). Allocating and zeroing them per call costs O(n) even
-/// when the repair itself only touches O(Δ) items — the dominant cost of a
-/// tiny batch on a large structure. A `RepairScratch` keeps both arrays alive
-/// between repairs and resets them in O(items touched): the pending flags
+/// A repair needs three dense arrays over the items: the pending flags, the
+/// first-touch flags, and the pending in-degree counters (earlier *pending*
+/// conflicts per pending item — the round driver's ready test). Allocating
+/// and zeroing them per call costs O(n) even when the repair itself only
+/// touches O(Δ) items — the dominant cost of a tiny batch on a large
+/// structure. A `RepairScratch` keeps the arrays alive between repairs and
+/// resets them in O(items touched): the pending flags and in-degree counters
 /// self-clear as the rounds drain, and the touched flags are cleared by
 /// walking the first-touch list. Holding one per maintained state (as
 /// `greedy_engine::Engine` does) makes a small repair's cost proportional to
@@ -89,6 +165,12 @@ pub struct RepairStats {
 pub struct RepairScratch {
     pending_flag: Vec<bool>,
     touched_flag: Vec<bool>,
+    /// `indeg[v]` = number of earlier-priority conflicts of `v` currently
+    /// pending; maintained incrementally (+1 when such a conflict enters
+    /// pending, -1 when it retires), so the per-round ready test is a plain
+    /// zero check instead of a conflict-list rescan. Nonzero only while `v`
+    /// is pending, hence self-clearing.
+    indeg: Vec<u32>,
     /// Flags cleared while resetting after the last repair — the O(Δ) bound
     /// the reuse buys, exposed so tests can assert a small repair on a large
     /// DAG never pays an O(n) reset.
@@ -108,6 +190,7 @@ impl RepairScratch {
         Self {
             pending_flag: vec![false; n],
             touched_flag: vec![false; n],
+            indeg: vec![0; n],
             last_reset_items: 0,
         }
     }
@@ -119,12 +202,13 @@ impl RepairScratch {
     }
 
     /// Grows (never shrinks) the flag arrays to cover `n` items. Existing
-    /// entries are all `false` between repairs, so growth keeps the
+    /// entries are all `false`/`0` between repairs, so growth keeps the
     /// all-clear invariant.
     fn ensure(&mut self, n: usize) {
         if self.pending_flag.len() < n {
             self.pending_flag.resize(n, false);
             self.touched_flag.resize(n, false);
+            self.indeg.resize(n, 0);
         }
     }
 }
@@ -149,7 +233,7 @@ impl RepairScratch {
 /// # Panics
 /// Panics if `accepted.len() != dag.len()` or a seed id is out of range.
 pub fn repair_fixed_point<D: ConflictDag>(
-    dag: &D,
+    dag: &mut D,
     accepted: &mut [bool],
     seeds: &[u32],
 ) -> (Vec<u32>, RepairStats) {
@@ -164,7 +248,7 @@ pub fn repair_fixed_point<D: ConflictDag>(
 /// # Panics
 /// Panics if `accepted.len() != dag.len()` or a seed id is out of range.
 pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
-    dag: &D,
+    dag: &mut D,
     accepted: &mut [bool],
     seeds: &[u32],
     scratch: &mut RepairScratch,
@@ -180,6 +264,39 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
 
     let mut stats = RepairStats::default();
     let pending_flag = &mut scratch.pending_flag;
+    let indeg = &mut scratch.indeg;
+
+    // Adds `v` to the pending set, updating the in-degree bookkeeping on
+    // both sides: `v` counts its earlier pending conflicts, and registers
+    // itself with its later pending conflicts. Entries and retirements are
+    // symmetric, so every counter returns to zero as the rounds drain —
+    // the self-clearing property the O(Δ) scratch reset relies on.
+    fn enter<D: ConflictDag>(
+        dag: &mut D,
+        v: u32,
+        pending_flag: &mut [bool],
+        indeg: &mut [u32],
+        pending: &mut Vec<u32>,
+    ) {
+        debug_assert!(!pending_flag[v as usize]);
+        debug_assert_eq!(indeg[v as usize], 0);
+        pending_flag[v as usize] = true;
+        let pv = dag.priority(v);
+        let mut earlier = 0u32;
+        dag.for_each_pending_conflict(v, pending_flag, &mut |w| {
+            if w != v {
+                if dag.priority(w) < pv {
+                    earlier += 1;
+                } else {
+                    indeg[w as usize] += 1;
+                }
+            }
+        });
+        indeg[v as usize] = earlier;
+        dag.on_enter_pending(v);
+        pending.push(v);
+    }
+
     let mut pending: Vec<u32> = Vec::with_capacity(seeds.len());
     for &s in seeds {
         assert!(
@@ -187,8 +304,7 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
             "repair_fixed_point: seed {s} out of range"
         );
         if !pending_flag[s as usize] {
-            pending_flag[s as usize] = true;
-            pending.push(s);
+            enter(dag, s, pending_flag, indeg, &mut pending);
         }
     }
 
@@ -202,23 +318,18 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
         stats.rounds += 1;
 
         // An item is ready when no *earlier* conflicting item is still
-        // pending: its earlier conflicts cannot change this round, so its
-        // decision reads a settled frontier. At least the globally earliest
-        // pending item is always ready, so every round makes progress.
-        let pending_flag_ref: &[bool] = pending_flag;
+        // pending — i.e. its maintained in-degree is zero: its earlier
+        // conflicts cannot change this round, so its decision reads a
+        // settled frontier. At least the globally earliest pending item is
+        // always ready, so every round makes progress. The counter check
+        // replaces a per-round conflict-list rescan, so a pending item's
+        // lists are walked O(1) times per pending episode, not once per
+        // round it waits.
+        let indeg_ref: &[u32] = indeg;
         let ready: Vec<u32> = pending
-            .par_iter()
+            .iter()
             .copied()
-            .filter(|&v| {
-                let pv = dag.priority(v);
-                let mut has_earlier_pending = false;
-                dag.for_each_conflict(v, &mut |w| {
-                    if pending_flag_ref[w as usize] && dag.priority(w) < pv {
-                        has_earlier_pending = true;
-                    }
-                });
-                !has_earlier_pending
-            })
+            .filter(|&v| indeg_ref[v as usize] == 0)
             .collect();
 
         // Greedy rule, computed in parallel against the pre-round state. Two
@@ -226,32 +337,37 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
         // earlier one would have blocked the later one's readiness), so the
         // reads are race-free even conceptually.
         let accepted_ref = &*accepted;
+        let dag_ref = &*dag;
         let decisions: Vec<bool> = ready
             .par_iter()
-            .map(|&v| {
-                let pv = dag.priority(v);
-                let mut blocked = false;
-                dag.for_each_conflict(v, &mut |w| {
-                    if accepted_ref[w as usize] && dag.priority(w) < pv {
-                        blocked = true;
-                    }
-                });
-                !blocked
-            })
+            .map(|&v| dag_ref.decide(v, accepted_ref))
             .collect();
         stats.decided += ready.len() as u64;
 
-        // Apply decisions and collect propagation targets: every *later*
-        // conflict of a flipped item must be re-checked. Sequential, but
-        // linear in the flip frontier — the parallel work above dominates.
+        // Retire the ready items: clear their flags and pending-index
+        // entries first (ready items never conflict with one another, but
+        // their release walks share later pending targets), then release
+        // their holds on later pending conflicts.
         for &v in &ready {
             pending_flag[v as usize] = false;
+            dag.on_retire_pending(v);
         }
         let mut next: Vec<u32> = pending
             .iter()
             .copied()
             .filter(|&v| pending_flag[v as usize])
             .collect();
+        for &v in &ready {
+            let pv = dag.priority(v);
+            dag.for_each_pending_conflict(v, pending_flag, &mut |w| {
+                if dag.priority(w) > pv {
+                    indeg[w as usize] -= 1;
+                }
+            });
+        }
+        // Apply decisions and propagate: every *later* conflict of a flipped
+        // item must be re-checked. Sequential, but linear in the flip
+        // frontier — the parallel work above dominates.
         for (&v, &dec) in ready.iter().zip(&decisions) {
             if !touched_flag[v as usize] {
                 touched_flag[v as usize] = true;
@@ -260,13 +376,45 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
             if accepted[v as usize] != dec {
                 accepted[v as usize] = dec;
                 stats.flips += 1;
+                dag.on_flip(v, dec, accepted);
                 let pv = dag.priority(v);
+                // A flip only invalidates later conflicts on one side of the
+                // rule: flipping *in* newly blocks only currently-accepted
+                // later conflicts, and flipping *out* can unblock only
+                // currently-unaccepted ones — a later conflict whose
+                // decision sits on the other side keeps its value under the
+                // greedy rule no matter what. On top of that, a candidate is
+                // only woken when its decision would change *against the
+                // current state* (`decide(w) != accepted[w]`): a candidate
+                // that stays blocked by some other accepted item is already
+                // rule-consistent, and if that blocker ever flips out, its
+                // own wake walk re-examines the candidate. Together the
+                // filters keep the pending set proportional to the real
+                // flip cascade instead of the flip frontier's whole
+                // neighborhood.
+                //
+                // Collect first — `enter` needs the flag array the walk
+                // borrows — then enter one at a time, so each entry's
+                // in-degree count sees exactly the previously-entered items
+                // (entering two mutually-conflicting wake-ups in one go
+                // would double-count their edge).
+                let mut wake: Vec<u32> = Vec::new();
                 dag.for_each_conflict(v, &mut |w| {
-                    if dag.priority(w) > pv && !pending_flag[w as usize] {
-                        pending_flag[w as usize] = true;
-                        next.push(w);
+                    // Flag and state loads first — the priority lookup is
+                    // the wide one, and most conflicts fail the cheap tests.
+                    if !pending_flag[w as usize]
+                        && accepted[w as usize] == dec
+                        && dag.priority(w) > pv
+                    {
+                        wake.push(w);
                     }
                 });
+                for w in wake {
+                    if !pending_flag[w as usize] && dag.decide(w, accepted) != accepted[w as usize]
+                    {
+                        enter(dag, w, pending_flag, indeg, &mut next);
+                    }
+                }
             }
         }
         pending = next;
@@ -291,7 +439,7 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
 /// Runs the greedy rule from scratch over `dag`: all items seeded, state
 /// starting all-`false`. Returns the accepted flags and the stats (whose
 /// `rounds` is the dependence length of the DAG).
-pub fn greedy_from_scratch<D: ConflictDag>(dag: &D) -> (Vec<bool>, RepairStats) {
+pub fn greedy_from_scratch<D: ConflictDag>(dag: &mut D) -> (Vec<bool>, RepairStats) {
     let mut accepted = vec![false; dag.len()];
     let seeds: Vec<u32> = (0..dag.len() as u32).collect();
     let (_, stats) = repair_fixed_point(dag, &mut accepted, &seeds);
@@ -315,6 +463,7 @@ mod tests {
     }
 
     impl ConflictDag for MisDag<'_> {
+        type Priority = (u64, u32);
         fn len(&self) -> usize {
             self.graph.num_vertices()
         }
@@ -341,8 +490,8 @@ mod tests {
         for seed in 0..5 {
             let g = random_graph(400, 1_600, seed);
             let pi = random_permutation(400, seed + 11);
-            let dag = MisDag { graph: &g, pi: &pi };
-            let (accepted, stats) = greedy_from_scratch(&dag);
+            let mut dag = MisDag { graph: &g, pi: &pi };
+            let (accepted, stats) = greedy_from_scratch(&mut dag);
             assert_eq!(mis_of(&accepted), sequential_mis(&g, &pi), "seed {seed}");
             assert!(stats.rounds >= 1);
         }
@@ -356,8 +505,8 @@ mod tests {
             (complete_graph(20), 20),
         ] {
             let pi = random_permutation(n, 3);
-            let dag = MisDag { graph: &g, pi: &pi };
-            let (accepted, _) = greedy_from_scratch(&dag);
+            let mut dag = MisDag { graph: &g, pi: &pi };
+            let (accepted, _) = greedy_from_scratch(&mut dag);
             assert_eq!(mis_of(&accepted), sequential_mis(&g, &pi));
         }
     }
@@ -366,10 +515,10 @@ mod tests {
     fn empty_seed_set_is_a_noop() {
         let g = random_graph(100, 300, 1);
         let pi = random_permutation(100, 2);
-        let dag = MisDag { graph: &g, pi: &pi };
-        let (mut accepted, _) = greedy_from_scratch(&dag);
+        let mut dag = MisDag { graph: &g, pi: &pi };
+        let (mut accepted, _) = greedy_from_scratch(&mut dag);
         let before = accepted.clone();
-        let (changed, stats) = repair_fixed_point(&dag, &mut accepted, &[]);
+        let (changed, stats) = repair_fixed_point(&mut dag, &mut accepted, &[]);
         assert!(changed.is_empty());
         assert_eq!(stats.rounds, 0);
         assert_eq!(accepted, before);
@@ -381,11 +530,11 @@ mod tests {
         // untouched and report an empty net change set.
         let g = random_graph(300, 1_200, 4);
         let pi = random_permutation(300, 5);
-        let dag = MisDag { graph: &g, pi: &pi };
-        let (mut accepted, _) = greedy_from_scratch(&dag);
+        let mut dag = MisDag { graph: &g, pi: &pi };
+        let (mut accepted, _) = greedy_from_scratch(&mut dag);
         let before = accepted.clone();
         let seeds: Vec<u32> = (0..300).collect();
-        let (changed, _) = repair_fixed_point(&dag, &mut accepted, &seeds);
+        let (changed, _) = repair_fixed_point(&mut dag, &mut accepted, &seeds);
         assert!(changed.is_empty(), "changed = {changed:?}");
         assert_eq!(accepted, before);
     }
@@ -397,14 +546,14 @@ mod tests {
         // differs from the corrupted entry state.
         let g = path_graph(10);
         let pi = Permutation::identity(10);
-        let dag = MisDag { graph: &g, pi: &pi };
-        let (mut accepted, _) = greedy_from_scratch(&dag);
+        let mut dag = MisDag { graph: &g, pi: &pi };
+        let (mut accepted, _) = greedy_from_scratch(&mut dag);
         // Path with identity order: MIS = {0, 2, 4, 6, 8}.
         assert_eq!(mis_of(&accepted), vec![0, 2, 4, 6, 8]);
         // Corrupt vertex 4 to false; downstream (5..) is then stale too, but
         // the repair only needs the corrupted vertex as a seed.
         accepted[4] = false;
-        let (changed, _) = repair_fixed_point(&dag, &mut accepted, &[4]);
+        let (changed, _) = repair_fixed_point(&mut dag, &mut accepted, &[4]);
         assert_eq!(mis_of(&accepted), vec![0, 2, 4, 6, 8]);
         assert_eq!(changed, vec![4], "net change is the restored vertex only");
     }
@@ -418,15 +567,16 @@ mod tests {
         let n = 20_000;
         let g = random_graph(n, 60_000, 9);
         let pi = random_permutation(n, 10);
-        let dag = MisDag { graph: &g, pi: &pi };
-        let (mut fresh, _) = greedy_from_scratch(&dag);
+        let mut dag = MisDag { graph: &g, pi: &pi };
+        let (mut fresh, _) = greedy_from_scratch(&mut dag);
         let mut reused = fresh.clone();
         let mut scratch = RepairScratch::with_capacity(dag.len());
         for v in [5u32, 499, 13_000, 19_999] {
             fresh[v as usize] = !fresh[v as usize];
             reused[v as usize] = !reused[v as usize];
-            let (c1, s1) = repair_fixed_point(&dag, &mut fresh, &[v]);
-            let (c2, s2) = repair_fixed_point_with_scratch(&dag, &mut reused, &[v], &mut scratch);
+            let (c1, s1) = repair_fixed_point(&mut dag, &mut fresh, &[v]);
+            let (c2, s2) =
+                repair_fixed_point_with_scratch(&mut dag, &mut reused, &[v], &mut scratch);
             assert_eq!(fresh, reused, "state diverged after seeding {v}");
             assert_eq!((c1, s1), (c2, s2), "report diverged after seeding {v}");
             assert!(
@@ -438,7 +588,7 @@ mod tests {
         // The scratch also drives a full from-scratch run correctly.
         let mut rebuilt = vec![false; dag.len()];
         let seeds: Vec<u32> = (0..dag.len() as u32).collect();
-        let _ = repair_fixed_point_with_scratch(&dag, &mut rebuilt, &seeds, &mut scratch);
+        let _ = repair_fixed_point_with_scratch(&mut dag, &mut rebuilt, &seeds, &mut scratch);
         assert_eq!(rebuilt, fresh);
     }
 
@@ -447,9 +597,9 @@ mod tests {
     fn mismatched_state_length_panics() {
         let g = path_graph(4);
         let pi = Permutation::identity(4);
-        let dag = MisDag { graph: &g, pi: &pi };
+        let mut dag = MisDag { graph: &g, pi: &pi };
         let mut accepted = vec![false; 3];
-        let _ = repair_fixed_point(&dag, &mut accepted, &[0]);
+        let _ = repair_fixed_point(&mut dag, &mut accepted, &[0]);
     }
 
     #[test]
@@ -457,17 +607,17 @@ mod tests {
     fn out_of_range_seed_panics() {
         let g = path_graph(4);
         let pi = Permutation::identity(4);
-        let dag = MisDag { graph: &g, pi: &pi };
+        let mut dag = MisDag { graph: &g, pi: &pi };
         let mut accepted = vec![false; 4];
-        let _ = repair_fixed_point(&dag, &mut accepted, &[9]);
+        let _ = repair_fixed_point(&mut dag, &mut accepted, &[9]);
     }
 
     #[test]
     fn zero_item_dag() {
         let g = Graph::empty(0);
         let pi = Permutation::identity(0);
-        let dag = MisDag { graph: &g, pi: &pi };
-        let (accepted, stats) = greedy_from_scratch(&dag);
+        let mut dag = MisDag { graph: &g, pi: &pi };
+        let (accepted, stats) = greedy_from_scratch(&mut dag);
         assert!(accepted.is_empty());
         assert_eq!(stats.rounds, 0);
     }

@@ -18,7 +18,7 @@ use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::Edge;
 
 use crate::dyn_graph::DynGraph;
-use crate::matching::{matching_from_scratch, MatchingState};
+use crate::matching::{matching_from_scratch, MatchDelta, MatchingState};
 use crate::mis::{mis_from_scratch, repair_mis, vertex_priorities};
 use crate::snapshot::ServerSnapshot;
 
@@ -83,13 +83,15 @@ pub struct BatchReport {
     pub edges_deleted: usize,
     /// Vertices whose MIS membership flipped, sorted ascending.
     pub mis_changed: Vec<u32>,
-    /// Edges whose matching membership flipped, canonical, sorted by packed
-    /// key (deleted matched edges appear here too).
-    pub matching_changed: Vec<Edge>,
+    /// Edges whose matching membership flipped, keyed by their stable slot
+    /// ids and sorted by slot (deleted matched edges appear here too, under
+    /// the slot they held).
+    pub matching_changed: Vec<MatchDelta>,
     /// Round/re-decision counters of the MIS repair.
     pub mis_repair: RepairStats,
-    /// Edge re-decisions performed by the matching repair.
-    pub matching_redecisions: u64,
+    /// Round/re-decision counters of the matching repair (same round
+    /// machinery as the MIS since the slot refactor).
+    pub matching_repair: RepairStats,
 }
 
 /// Cumulative counters across the engine's lifetime.
@@ -135,8 +137,11 @@ pub struct Engine {
     in_mis: Vec<bool>,
     /// Matching state (the maintained fixed point).
     matching: MatchingState,
-    /// MIS-repair working memory, kept across batches so a tiny batch's
-    /// repair costs O(Δ) instead of re-zeroing O(n) flag arrays per call.
+    /// Repair working memory shared by the MIS (vertex-indexed) and matching
+    /// (slot-indexed) repairs — both ride the same round machinery, and the
+    /// scratch's flags are all-clear between repairs, so one allocation
+    /// sized to the larger item space serves both. Kept across batches so a
+    /// tiny batch's repair costs O(Δ) instead of re-zeroing O(n) flags.
     scratch: RepairScratch,
     stats: EngineStats,
 }
@@ -158,12 +163,15 @@ impl Engine {
     fn from_dyn_graph(graph: DynGraph, seed: u64) -> Self {
         let n = graph.num_vertices();
         let vertex_prio = vertex_priorities(n, seed);
-        let mut scratch = RepairScratch::with_capacity(n);
+        let mut scratch = RepairScratch::with_capacity(n.max(graph.num_slots()));
+        // Matching first, MIS second — both from-scratch builds share the
+        // scratch, and finishing on the MIS keeps
+        // [`Engine::mis_scratch_reset_items`] describing the MIS repair.
+        let (matching, matching_stats) = matching_from_scratch(&graph, seed, &mut scratch);
         let (in_mis, mis_stats) = mis_from_scratch(&graph, &vertex_prio, &mut scratch);
-        let (matching, matching_redecisions) = matching_from_scratch(&graph, seed);
         let stats = EngineStats {
             mis_redecisions: mis_stats.decided,
-            matching_redecisions,
+            matching_redecisions: matching_stats.decided,
             ..EngineStats::default()
         };
         Self {
@@ -183,22 +191,45 @@ impl Engine {
     /// # Panics
     /// Panics if an endpoint is out of range for the engine's vertex set.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchReport {
-        // Graph first: deletions, then insertions (batch semantics).
+        // Graph first: deletions, then insertions (batch semantics). Each
+        // effective update comes back with its stable slot id.
         let deleted = self.graph.delete_edges(&batch.deletions);
         let inserted = self.graph.insert_edges(&batch.insertions);
 
         // Matching repair reads the pre-repair matched state of the deleted
-        // edges, so it runs directly off the effective lists.
-        let (matching_changed, matching_redecisions) =
-            self.matching
-                .repair_batch(&self.graph, self.seed, &deleted, &inserted);
+        // slots, so it runs directly off the effective lists.
+        let (matching_changed, matching_repair) = self.matching.repair_batch(
+            &self.graph,
+            self.seed,
+            &deleted,
+            &inserted,
+            &mut self.scratch,
+        );
 
-        // MIS dirty frontier: the endpoints of every effective change.
-        let mut seeds: Vec<u32> = deleted
-            .iter()
-            .chain(inserted.iter())
-            .flat_map(|e| [e.u, e.v])
-            .collect();
+        // MIS dirty frontier: endpoints of effective changes whose decision
+        // can actually move under the greedy rule at batch entry. An edge
+        // change affects endpoint `x` only through the *earlier* endpoint
+        // `y`, and only one way per direction: inserting `{x, y}` can evict
+        // `x` only if both are in the MIS (x later); deleting it can admit
+        // `x` only if `x` was out and the earlier `y` in. Everything else
+        // keeps its fixed-point decision, and knock-on changes propagate
+        // through the round driver's flip wake-ups.
+        let prio = |x: u32| (self.vertex_prio[x as usize], x);
+        let mut seeds: Vec<u32> = Vec::new();
+        for upd in &deleted {
+            for (x, y) in [(upd.edge.u, upd.edge.v), (upd.edge.v, upd.edge.u)] {
+                if !self.in_mis[x as usize] && self.in_mis[y as usize] && prio(y) < prio(x) {
+                    seeds.push(x);
+                }
+            }
+        }
+        for upd in &inserted {
+            for (x, y) in [(upd.edge.u, upd.edge.v), (upd.edge.v, upd.edge.u)] {
+                if self.in_mis[x as usize] && self.in_mis[y as usize] && prio(y) < prio(x) {
+                    seeds.push(x);
+                }
+            }
+        }
         seeds.sort_unstable();
         seeds.dedup();
         let (mis_changed, mis_repair) = repair_mis(
@@ -215,7 +246,7 @@ impl Engine {
         self.stats.mis_vertices_changed += mis_changed.len() as u64;
         self.stats.matching_edges_changed += matching_changed.len() as u64;
         self.stats.mis_redecisions += mis_repair.decided;
-        self.stats.matching_redecisions += matching_redecisions;
+        self.stats.matching_redecisions += matching_repair.decided;
 
         BatchReport {
             edges_inserted: inserted.len(),
@@ -223,7 +254,7 @@ impl Engine {
             mis_changed,
             matching_changed,
             mis_repair,
-            matching_redecisions,
+            matching_repair,
         }
     }
 

@@ -15,23 +15,28 @@
 //!
 //! ## Pieces
 //!
-//! * [`dyn_graph::DynGraph`] — sorted per-vertex adjacency under parallel
-//!   batch insert/delete (radix-sort + merge, via `greedy_prims::sort`),
-//!   convertible to/from [`greedy_graph::csr::Graph`];
+//! * [`dyn_graph::DynGraph`] — a flat **slack-CSR** arena (per-vertex
+//!   segments with PMA-style gaps, local in-segment shuffles on insert,
+//!   amortized parallel rebuilds on overflow) under parallel batch
+//!   insert/delete (radix-sort + per-segment merge, via
+//!   `greedy_prims::sort`), convertible to/from
+//!   [`greedy_graph::csr::Graph`]. A free-list allocator gives every live
+//!   edge a **stable dense slot id** that survives unrelated batches;
 //! * [`priority`] — the update-stable hashed priorities (per vertex and per
 //!   edge-endpoint-pair) the states are maintained under, plus helpers that
 //!   materialize them as [`greedy_prims::permutation::Permutation`]s for the
 //!   static oracle algorithms;
-//! * incremental repair — MIS rides the reusable round machinery
-//!   [`greedy_core::dag::repair_fixed_point`] (the rounds algorithm
-//!   generalized to a dirty frontier); matching runs the same fixed point as
-//!   a priority-ordered worklist over edge keys (edges have no stable dense
-//!   ids, so the round driver's item indexing does not apply);
+//! * incremental repair — MIS *and* matching both ride the reusable round
+//!   machinery [`greedy_core::dag::repair_fixed_point`] (the rounds
+//!   algorithm generalized to a dirty frontier) and share one
+//!   [`greedy_core::dag::RepairScratch`]: the stable slot ids make the
+//!   matching a [`greedy_core::dag::ConflictDag`] over dense edge items,
+//!   retiring the old sequential priority-heap repair;
 //! * [`engine::Engine`] — the service-facing facade:
 //!   [`apply_batch`](engine::Engine::apply_batch) /
 //!   [`snapshot`](engine::Engine::snapshot) /
-//!   [`stats`](engine::Engine::stats), reporting per-batch changed-vertex and
-//!   changed-edge deltas.
+//!   [`stats`](engine::Engine::stats), reporting per-batch changed-vertex
+//!   deltas and changed-edge deltas keyed by stable slot id.
 //!
 //! ## Example
 //!
@@ -59,15 +64,16 @@
 
 pub mod dyn_graph;
 pub mod engine;
-mod matching;
+pub mod matching;
 mod mis;
 pub mod priority;
 pub mod snapshot;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::dyn_graph::DynGraph;
+    pub use crate::dyn_graph::{DynGraph, SlotUpdate};
     pub use crate::engine::{BatchReport, EdgeBatch, Engine, EngineStats, Snapshot};
+    pub use crate::matching::MatchDelta;
     pub use crate::priority::{edge_permutation, edge_priority, vertex_permutation};
     pub use crate::snapshot::ServerSnapshot;
 }

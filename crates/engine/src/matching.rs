@@ -1,40 +1,189 @@
-//! Incremental maintenance of the greedy maximal matching.
+//! Incremental maintenance of the greedy maximal matching, on the shared
+//! parallel round machinery.
 //!
 //! The maintained invariant is greedy on the line graph: edge `e` is matched
-//! iff no adjacent edge with earlier priority is. Unlike vertices, edges have
-//! no stable dense ids under insertion/deletion, so instead of the
-//! round-based [`greedy_core::dag::repair_fixed_point`] this maintainer runs
-//! the same fixed-point computation as a priority-ordered worklist over
-//! *edge keys*: a min-heap on [`edge_priority`] keys.
+//! iff no adjacent edge with earlier priority is. Earlier revisions ran this
+//! fixed point as a *sequential* priority heap because edges had no stable
+//! dense ids; the slack-CSR [`DynGraph`] now assigns every live edge a stable
+//! [`slot`](crate::dyn_graph::SlotUpdate) id, so the matching is simply a
+//! [`ConflictDag`] over slots — items are slot ids, two slots conflict when
+//! their edges share an endpoint — driven by the same
+//! [`repair_fixed_point_with_scratch`] rounds that repair the MIS. MIS and
+//! matching share one round engine and one [`RepairScratch`].
 //!
-//! Correctness rests on one invariant: **every push performed while
-//! processing a popped edge has strictly later priority than that edge**
-//! (pushes target the later-priority incident edges of a decision that
-//! flipped). Pops are therefore globally nondecreasing in priority, so when
-//! an edge pops, every earlier-priority decision that could still change has
-//! already settled — its re-decision is final. An edge can be pushed (and
-//! popped) more than once; redundant pops find a consistent decision and do
-//! nothing. The repair is sequential and trivially deterministic; per batch
-//! it touches only the affected edges, not the whole graph.
+//! Priorities are carried over unchanged from the heap implementation:
+//! `(hash64(seed ⊕ SALT, key), key)` for the packed canonical endpoint key,
+//! so the order is a property of the *edge* (stable under deletion and
+//! re-insertion, independent of which slot the edge currently occupies) and
+//! the maintained matching stays equal to the static greedy oracle. Free
+//! slots are inert: they sit in no adjacency list, are never seeded, and thus
+//! never enter a repair.
+//!
+//! Per batch, the dirty frontier is: every freshly inserted slot, plus —
+//! for each deleted edge that was *matched* — every surviving slot incident
+//! to its endpoints (a deleted unmatched edge constrained nothing and needs
+//! no repair). The round driver propagates to later conflicting slots
+//! whenever a decision flips, and every parallel step is order-preserving,
+//! so the repaired matching is byte-identical across thread counts.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-
+use greedy_core::dag::{repair_fixed_point_with_scratch, ConflictDag, RepairScratch, RepairStats};
 use greedy_graph::edge_list::Edge;
 
-use crate::dyn_graph::DynGraph;
-use crate::priority::{edge_key, edge_priority};
+use crate::dyn_graph::{DynGraph, SlotUpdate};
+use crate::priority::edge_priority;
 
-/// Unpacks a canonical packed edge key back into its endpoints.
-#[inline]
-fn unpack(key: u64) -> (u32, u32) {
-    ((key >> 32) as u32, key as u32)
+/// One net matching change of a batch: the stable slot id, its edge, and the
+/// membership *after* the batch. For an edge that was deleted while matched,
+/// `slot` is the id it held (now freed) and `matched` is `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchDelta {
+    /// Stable slot id of the edge (its freed id when the edge was deleted).
+    pub slot: u32,
+    /// The canonical edge.
+    pub edge: Edge,
+    /// Matching membership after the batch.
+    pub matched: bool,
 }
 
-/// The matched-edge state: each vertex's partner, or `u32::MAX` if unmatched.
+/// [`ConflictDag`] view of the current edge set: items are slot ids, two
+/// slots conflict when their edges share an endpoint.
+struct MatchingDag<'a> {
+    graph: &'a DynGraph,
+    seed: u64,
+    /// Cached [`edge_priority`] per slot — priority queries are loads, not
+    /// hashes. Stale at free slots (inert) and filled for every live slot.
+    prio: &'a [(u64, u64)],
+    /// Per-vertex far endpoint of the **earliest accepted incident edge**,
+    /// `u32::MAX` when none — maintained through [`ConflictDag::on_flip`],
+    /// which makes [`ConflictDag::decide`] two O(1) partner probes instead
+    /// of two adjacency walks (the same trick the retired sequential heap
+    /// used). At the fixed point each vertex has at most one accepted
+    /// incident edge, so this is exactly the matching's partner array.
+    partner: &'a mut [u32],
+    /// Per-vertex list of **pending** incident slots — the pending-conflict
+    /// index behind [`ConflictDag::for_each_pending_conflict`], maintained
+    /// through the enter/retire hooks. Each pending slot appears in both
+    /// endpoints' lists; the lists are empty between repairs (the pending
+    /// set drains to nothing).
+    pending_at: &'a mut [Vec<u32>],
+}
+
+impl ConflictDag for MatchingDag<'_> {
+    /// `(hash, packed canonical key)` — the edge's own identity breaks ties,
+    /// not its slot, so the order survives delete + re-insert cycles.
+    type Priority = (u64, u64);
+
+    fn len(&self) -> usize {
+        self.graph.num_slots()
+    }
+
+    fn priority(&self, item: u32) -> (u64, u64) {
+        self.prio[item as usize]
+    }
+
+    fn for_each_conflict(&self, item: u32, f: &mut dyn FnMut(u32)) {
+        if let Some(e) = self.graph.slot_edge(item) {
+            for x in [e.u, e.v] {
+                for &s in self.graph.neighbor_slots(x) {
+                    if s != item {
+                        f(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocked iff either endpoint's earliest accepted incident edge is
+    /// earlier than `item`. Equivalent to the default conflict scan: the
+    /// earliest accepted incident edge is the only possible earlier blocker
+    /// at that endpoint, and a strict comparison excludes `item` itself.
+    fn decide(&self, item: u32, _accepted: &[bool]) -> bool {
+        let e = self.graph.slot_edge(item).expect("decided slot is live");
+        let p = self.prio[item as usize];
+        ![e.u, e.v].into_iter().any(|x| {
+            let m = self.partner[x as usize];
+            m != u32::MAX && edge_priority(self.seed, Edge::new(x, m)) < p
+        })
+    }
+
+    /// O(pending incident) pending-conflict walk over the per-vertex index
+    /// instead of the default O(degree) adjacency filter.
+    fn for_each_pending_conflict(&self, item: u32, _pending_flag: &[bool], f: &mut dyn FnMut(u32)) {
+        let e = self.graph.slot_edge(item).expect("walked slot is live");
+        for x in [e.u, e.v] {
+            for &s in &self.pending_at[x as usize] {
+                if s != item {
+                    f(s);
+                }
+            }
+        }
+    }
+
+    fn on_enter_pending(&mut self, item: u32) {
+        let e = self.graph.slot_edge(item).expect("pending slot is live");
+        self.pending_at[e.u as usize].push(item);
+        self.pending_at[e.v as usize].push(item);
+    }
+
+    fn on_retire_pending(&mut self, item: u32) {
+        let e = self.graph.slot_edge(item).expect("pending slot is live");
+        for x in [e.u, e.v] {
+            let list = &mut self.pending_at[x as usize];
+            let i = list.iter().position(|&s| s == item).expect("indexed");
+            list.swap_remove(i);
+        }
+    }
+
+    /// Keeps the earliest-accepted invariant: a flip *in* is unblocked, so
+    /// it is earlier than every accepted incident edge and becomes the new
+    /// minimum at both endpoints outright; a flip *out* rescans an endpoint
+    /// only when the flipped edge was that endpoint's recorded minimum.
+    fn on_flip(&mut self, item: u32, accepted_now: bool, accepted: &[bool]) {
+        let e = self.graph.slot_edge(item).expect("flipped slot is live");
+        if accepted_now {
+            self.partner[e.u as usize] = e.v;
+            self.partner[e.v as usize] = e.u;
+        } else {
+            for (x, y) in [(e.u, e.v), (e.v, e.u)] {
+                if self.partner[x as usize] == y {
+                    let mut best: Option<((u64, u64), u32)> = None;
+                    for (&w, &s) in self
+                        .graph
+                        .neighbors(x)
+                        .iter()
+                        .zip(self.graph.neighbor_slots(x))
+                    {
+                        if accepted[s as usize] {
+                            let p = self.prio[s as usize];
+                            if best.is_none_or(|(bp, _)| p < bp) {
+                                best = Some((p, w));
+                            }
+                        }
+                    }
+                    self.partner[x as usize] = best.map_or(u32::MAX, |(_, w)| w);
+                }
+            }
+        }
+    }
+}
+
+/// The matched-edge state: per-slot membership flags (the fixed point the
+/// round machinery maintains) plus the derived per-vertex partner array the
+/// serving export copies out.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct MatchingState {
+    /// `matched[s]` — slot `s`'s edge is in the matching. Indexed by slot id;
+    /// grows with the slot table, `false` at free slots.
+    matched: Vec<bool>,
+    /// Cached [`edge_priority`] per slot, refreshed when a slot is (re)used
+    /// by an insertion. Values at free slots are stale and never read (free
+    /// slots are inert in the DAG).
+    prio: Vec<(u64, u64)>,
+    /// Matched partner per vertex, `u32::MAX` when unmatched.
     partner: Vec<u32>,
+    /// Per-vertex pending-slot lists for the repair's conflict index; all
+    /// empty between repairs. Kept here so the allocation is reused.
+    pending_at: Vec<Vec<u32>>,
     size: usize,
 }
 
@@ -42,7 +191,10 @@ impl MatchingState {
     /// An empty matching over `n` vertices.
     pub fn new(n: usize) -> Self {
         Self {
+            matched: Vec::new(),
+            prio: Vec::new(),
             partner: vec![u32::MAX; n],
+            pending_at: vec![Vec::new(); n],
             size: 0,
         }
     }
@@ -75,136 +227,155 @@ impl MatchingState {
     }
 
     /// Repairs the matching after `deleted` edges left and `inserted` edges
-    /// entered `graph` (both lists canonical, already applied to the graph).
-    /// Returns the net-changed edges (membership flipped relative to entry),
-    /// canonical and sorted, plus the number of re-decisions performed.
+    /// entered `graph` (both lists effective, already applied to the graph).
+    /// Runs the shared round machinery over the slot-indexed conflict DAG
+    /// with the caller's scratch. Returns the net-changed edges (membership
+    /// flipped relative to batch entry) sorted by slot id, plus the repair's
+    /// work counters.
     pub fn repair_batch(
         &mut self,
         graph: &DynGraph,
         seed: u64,
-        deleted: &[Edge],
-        inserted: &[Edge],
-    ) -> (Vec<Edge>, u64) {
-        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-        // Decision of each touched edge at batch entry, keyed by packed edge
-        // key; the net delta is computed against these at the end.
-        let mut original: HashMap<u64, bool> = HashMap::new();
+        deleted: &[SlotUpdate],
+        inserted: &[SlotUpdate],
+        scratch: &mut RepairScratch,
+    ) -> (Vec<MatchDelta>, RepairStats) {
+        self.matched.resize(graph.num_slots(), false);
+        self.prio.resize(graph.num_slots(), (u64::MAX, u64::MAX));
+        for upd in inserted {
+            self.prio[upd.slot as usize] = edge_priority(seed, upd.edge);
+        }
+
+        // (edge, slot at touch time, membership at batch entry) — first
+        // occurrence per edge wins when computing the net delta.
+        let mut touched: Vec<(Edge, u32, bool)> = Vec::new();
+        let mut seeds: Vec<u32> = Vec::new();
+
+        // Seed pre-filter: an edge that is *blocked at batch entry* — some
+        // endpoint's currently matched edge has earlier priority — already
+        // holds its fixed-point decision (`false`), so it needs no seeding:
+        // if its blocker ever flips out during this repair, the flip
+        // propagates to it through the round driver. The partner array is
+        // exactly the entry state the repair starts from (deleted matched
+        // edges are cleared out of it first), so this is an O(1) test that
+        // keeps the pending set proportional to the edges that can actually
+        // flip — the same trick that made the retired sequential heap's
+        // blocked-test cheap, applied at seed time.
+        let blocked_at_entry = |partner: &[u32], e: Edge, p: (u64, u64)| {
+            [e.u, e.v].into_iter().any(|x| {
+                let m = partner[x as usize];
+                m != u32::MAX && edge_priority(seed, Edge::new(x, m)) < p
+            })
+        };
 
         // A deleted edge that was matched frees both endpoints; every
-        // surviving incident edge with later priority may now flip in. A
-        // deleted unmatched edge constrained nothing and needs no repair.
-        for &e in deleted {
-            if self.is_matched(e.u, e.v) {
-                self.unmatch(e.u, e.v);
-                original.insert(edge_key(e), true);
-                let p = edge_priority(seed, e);
-                for x in [e.u, e.v] {
-                    push_later_incident(&mut heap, graph, seed, x, p);
-                }
-            }
-        }
-        // An inserted edge is a new item whose decision starts `false`
-        // (unmatched); re-deciding it propagates onward if it flips in.
-        for &e in inserted {
-            heap.push(Reverse(edge_priority(seed, e)));
-        }
-
-        let mut redecisions = 0u64;
-        while let Some(Reverse((h, key))) = heap.pop() {
-            redecisions += 1;
-            let (u, v) = unpack(key);
-            let currently = self.is_matched(u, v);
-            // Blocked iff some earlier-priority adjacent edge is matched; a
-            // matched adjacent edge is unique per endpoint (the partner).
-            let blocked = self.blocks(seed, u, v, (h, key)) || self.blocks(seed, v, u, (h, key));
-            let decision = !blocked;
-            if decision == currently {
-                continue;
-            }
-            original.entry(key).or_insert(currently);
-            if decision {
-                // Accept {u, v}: any currently matched edge at u or v has
-                // later priority (an earlier one would have blocked us) and
-                // is knocked out; its freed far endpoint's later incident
-                // edges must then be re-decided.
-                for x in [u, v] {
-                    let p = self.partner[x as usize];
-                    if p != u32::MAX {
-                        let out = Edge::new(x, p);
-                        let out_prio = edge_priority(seed, out);
-                        debug_assert!(out_prio > (h, key), "knocked-out edge must be later");
-                        self.unmatch(x, p);
-                        original.entry(edge_key(out)).or_insert(true);
-                        push_later_incident(&mut heap, graph, seed, p, out_prio);
+        // surviving incident slot with *later* priority that is not blocked
+        // elsewhere may flip in, so those are seeded. (Earlier incident
+        // slots were unmatched — the deleted edge would have been blocked
+        // otherwise — and an unmatched item's removal changes no earlier
+        // decision. A deleted unmatched edge blocked nothing and needs no
+        // repair at all.) The deleted slot itself is already free — dead
+        // slots never enter the repair — so its flip out of the matching is
+        // applied right here. Note its priority is recomputed from the
+        // edge, not read from the cache: a same-batch insertion may have
+        // recycled the slot already.
+        for upd in deleted {
+            if self.matched[upd.slot as usize] {
+                self.matched[upd.slot as usize] = false;
+                self.size -= 1;
+                self.clear_partner(upd.edge);
+                touched.push((upd.edge, upd.slot, true));
+                let gone = edge_priority(seed, upd.edge);
+                for x in [upd.edge.u, upd.edge.v] {
+                    for (&w, &s) in graph.neighbors(x).iter().zip(graph.neighbor_slots(x)) {
+                        let p = self.prio[s as usize];
+                        if p > gone && !blocked_at_entry(&self.partner, Edge::new(x, w), p) {
+                            seeds.push(s);
+                        }
                     }
                 }
-                self.partner[u as usize] = v;
-                self.partner[v as usize] = u;
-                self.size += 1;
-            } else {
-                self.unmatch(u, v);
             }
-            // Either way the decision of {u, v} flipped: later incident edges
-            // of both endpoints see a changed earlier frontier.
-            for x in [u, v] {
-                push_later_incident(&mut heap, graph, seed, x, (h, key));
+        }
+        // An inserted slot is a new item whose decision starts `false`; if
+        // it is not blocked at entry the driver re-decides it and
+        // propagates onward when it flips in. (On slot reuse within a batch
+        // the deletion loop above already reset the recycled flag.)
+        for upd in inserted {
+            debug_assert!(!self.matched[upd.slot as usize]);
+            if !blocked_at_entry(&self.partner, upd.edge, self.prio[upd.slot as usize]) {
+                seeds.push(upd.slot);
             }
         }
 
-        let mut changed: Vec<(u64, Edge)> = original
-            .into_iter()
-            .filter_map(|(key, before)| {
-                let (u, v) = unpack(key);
-                let now = graph.has_edge(u, v) && self.is_matched(u, v);
-                (now != before).then_some((key, Edge::new(u, v)))
-            })
-            .collect();
-        changed.sort_unstable_by_key(|&(key, _)| key);
-        (changed.into_iter().map(|(_, e)| e).collect(), redecisions)
+        let mut dag = MatchingDag {
+            graph,
+            seed,
+            prio: &self.prio,
+            partner: &mut self.partner,
+            pending_at: &mut self.pending_at,
+        };
+        let (changed, stats) =
+            repair_fixed_point_with_scratch(&mut dag, &mut self.matched, &seeds, scratch);
+
+        // The partner array was maintained in-flight by the DAG's flip hook;
+        // only the size and the first-touch bookkeeping derive from the net
+        // changed set.
+        for &s in &changed {
+            let e = graph.slot_edge(s).expect("changed slot is live");
+            if self.matched[s as usize] {
+                self.size += 1;
+                touched.push((e, s, false));
+            } else {
+                self.size -= 1;
+                touched.push((e, s, true));
+            }
+        }
+
+        // Net delta versus batch entry. An edge can be touched twice only
+        // via delete + re-insert in one batch; the deletion was pushed
+        // first, so keeping the first occurrence keys the delta off the
+        // true entry state.
+        let mut seen = std::collections::HashSet::new();
+        let mut deltas: Vec<MatchDelta> = Vec::new();
+        for (edge, slot, before) in touched {
+            if !seen.insert(edge.sort_key()) {
+                continue;
+            }
+            let current = graph.edge_slot(edge.u, edge.v);
+            let now = current.is_some_and(|s| self.matched[s as usize]);
+            if now != before {
+                deltas.push(MatchDelta {
+                    slot: current.unwrap_or(slot),
+                    edge,
+                    matched: now,
+                });
+            }
+        }
+        deltas.sort_unstable_by_key(|d| d.slot);
+        (deltas, stats)
     }
 
-    /// True when endpoint `x` is matched by an edge earlier than `prio`
-    /// (other than to `y` itself).
+    /// Clears whichever partner entries still point across `e`.
     #[inline]
-    fn blocks(&self, seed: u64, x: u32, y: u32, prio: (u64, u64)) -> bool {
-        let p = self.partner[x as usize];
-        p != u32::MAX && p != y && edge_priority(seed, Edge::new(x, p)) < prio
-    }
-
-    /// Clears the matched pair `{u, v}`.
-    #[inline]
-    fn unmatch(&mut self, u: u32, v: u32) {
-        debug_assert!(self.is_matched(u, v) && self.is_matched(v, u));
-        self.partner[u as usize] = u32::MAX;
-        self.partner[v as usize] = u32::MAX;
-        self.size -= 1;
+    fn clear_partner(&mut self, e: Edge) {
+        debug_assert!(self.is_matched(e.u, e.v) && self.is_matched(e.v, e.u));
+        self.partner[e.u as usize] = u32::MAX;
+        self.partner[e.v as usize] = u32::MAX;
     }
 }
 
-/// Pushes every edge incident to `x` with priority strictly later than
-/// `after` — the downstream frontier of a decision flip at an edge of `x`.
-fn push_later_incident(
-    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+/// Builds the greedy matching from scratch: every live slot seeded as an
+/// "insertion" over an empty matching — exactly the rounds algorithm on the
+/// line graph. Used at engine construction.
+pub(crate) fn matching_from_scratch(
     graph: &DynGraph,
     seed: u64,
-    x: u32,
-    after: (u64, u64),
-) {
-    for &w in graph.neighbors(x) {
-        let p = edge_priority(seed, Edge::new(x, w));
-        if p > after {
-            heap.push(Reverse(p));
-        }
-    }
-}
-
-/// Builds the greedy matching from scratch: every current edge seeded as an
-/// "insertion" over an empty matching. Used at engine construction.
-pub(crate) fn matching_from_scratch(graph: &DynGraph, seed: u64) -> (MatchingState, u64) {
+    scratch: &mut RepairScratch,
+) -> (MatchingState, RepairStats) {
     let mut state = MatchingState::new(graph.num_vertices());
-    let all: Vec<Edge> = graph.to_edge_list().into_parts().1;
-    let (_, redecisions) = state.repair_batch(graph, seed, &[], &all);
-    (state, redecisions)
+    let all = graph.live_slot_updates();
+    let (_, stats) = state.repair_batch(graph, seed, &[], &all, scratch);
+    (state, stats)
 }
 
 #[cfg(test)]
@@ -213,6 +384,10 @@ mod tests {
     use crate::priority::edge_permutation;
     use greedy_core::matching::sequential::sequential_matching;
     use greedy_graph::gen::random::random_graph;
+
+    fn scratch() -> RepairScratch {
+        RepairScratch::new()
+    }
 
     /// From-scratch oracle: the static sequential greedy matching under the
     /// engine's hashed edge order.
@@ -231,8 +406,9 @@ mod tests {
     fn scratch_matching_equals_sequential_oracle() {
         for seed in 0..4 {
             let g = DynGraph::from_graph(&random_graph(300, 1_000, seed));
-            let (state, _) = matching_from_scratch(&g, seed + 31);
+            let (state, stats) = matching_from_scratch(&g, seed + 31, &mut scratch());
             assert_eq!(state.matched_edges(), oracle(&g, seed + 31), "seed {seed}");
+            assert!(stats.rounds >= 1, "from-scratch run must take rounds");
         }
     }
 
@@ -240,7 +416,8 @@ mod tests {
     fn insert_and_delete_repair_to_oracle() {
         let mut g = DynGraph::from_graph(&random_graph(150, 400, 2));
         let seed = 99;
-        let (mut state, _) = matching_from_scratch(&g, seed);
+        let mut sc = scratch();
+        let (mut state, _) = matching_from_scratch(&g, seed, &mut sc);
         // A few single-edge updates, each checked against the oracle.
         for (ins, del) in [
             (vec![Edge::new(0, 149)], vec![]),
@@ -251,9 +428,10 @@ mod tests {
             let deleted = g.delete_edges(&del);
             let inserted = g.insert_edges(&ins);
             let before = state.matched_edges();
-            let (changed, _) = state.repair_batch(&g, seed, &deleted, &inserted);
+            let (changed, _) = state.repair_batch(&g, seed, &deleted, &inserted, &mut sc);
             assert_eq!(state.matched_edges(), oracle(&g, seed));
-            // The reported delta is exactly the symmetric difference.
+            // The reported delta is exactly the symmetric difference, and
+            // each entry's `matched` flag reflects the post-batch state.
             let after = state.matched_edges();
             let mut sym: Vec<Edge> = before
                 .iter()
@@ -262,7 +440,12 @@ mod tests {
                 .copied()
                 .collect();
             sym.sort_unstable_by_key(|e| e.sort_key());
-            assert_eq!(changed, sym);
+            let mut reported: Vec<Edge> = changed.iter().map(|d| d.edge).collect();
+            reported.sort_unstable_by_key(|e| e.sort_key());
+            assert_eq!(reported, sym);
+            for d in &changed {
+                assert_eq!(d.matched, after.contains(&d.edge), "flag of {:?}", d.edge);
+            }
         }
     }
 
@@ -272,26 +455,51 @@ mod tests {
         let mut g = DynGraph::new(4);
         g.insert_edges(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
         for seed in 0..20 {
-            let (mut state, _) = matching_from_scratch(&g, seed);
+            let mut sc = scratch();
+            let (mut state, _) = matching_from_scratch(&g, seed, &mut sc);
             let m = state.matched_edges();
             let deleted = g.delete_edges(&[m[0]]);
-            let (_, _) = state.repair_batch(&g, seed, &deleted, &[]);
+            let (_, _) = state.repair_batch(&g, seed, &deleted, &[], &mut sc);
             assert_eq!(state.matched_edges(), oracle(&g, seed), "seed {seed}");
-            g.insert_edges(&deleted);
-            let re_inserted = deleted;
-            let (_, _) = state.repair_batch(&g, seed, &[], &re_inserted);
+            let re_inserted = g.insert_edges(&[m[0]]);
+            let (_, _) = state.repair_batch(&g, seed, &[], &re_inserted, &mut sc);
             assert_eq!(state.matched_edges(), oracle(&g, seed), "seed {seed} back");
+        }
+    }
+
+    #[test]
+    fn delete_and_reinsert_in_one_batch_reports_net_delta() {
+        // An edge deleted and re-inserted (reusing its slot) whose final
+        // membership equals its entry membership must NOT appear in the
+        // delta — the net report keys off batch entry, like the old
+        // hashed-key report did.
+        let mut g = DynGraph::new(4);
+        g.insert_edges(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+        for seed in 0..10 {
+            let mut sc = scratch();
+            let (mut state, _) = matching_from_scratch(&g, seed, &mut sc);
+            let before = state.matched_edges();
+            let e = before[0];
+            let deleted = g.delete_edges(&[e]);
+            let inserted = g.insert_edges(&[e]);
+            let (changed, _) = state.repair_batch(&g, seed, &deleted, &inserted, &mut sc);
+            assert_eq!(state.matched_edges(), before, "state must return");
+            assert!(
+                changed.is_empty(),
+                "seed {seed}: net delta must be empty, got {changed:?}"
+            );
         }
     }
 
     #[test]
     fn empty_batches_are_noops() {
         let g = DynGraph::from_graph(&random_graph(50, 120, 3));
-        let (mut state, _) = matching_from_scratch(&g, 5);
+        let mut sc = scratch();
+        let (mut state, _) = matching_from_scratch(&g, 5, &mut sc);
         let before = state.clone();
-        let (changed, redecisions) = state.repair_batch(&g, 5, &[], &[]);
+        let (changed, stats) = state.repair_batch(&g, 5, &[], &[], &mut sc);
         assert!(changed.is_empty());
-        assert_eq!(redecisions, 0);
+        assert_eq!(stats.decided, 0);
         assert_eq!(state, before);
     }
 }

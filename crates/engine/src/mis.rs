@@ -26,6 +26,9 @@ pub(crate) struct MisDag<'a> {
 }
 
 impl ConflictDag for MisDag<'_> {
+    /// `(hash, vertex id)` — vertex-indexed items tie-break on the id.
+    type Priority = (u64, u32);
+
     fn len(&self) -> usize {
         self.graph.num_vertices()
     }
@@ -61,8 +64,8 @@ pub(crate) fn repair_mis(
     seeds: &[u32],
     scratch: &mut RepairScratch,
 ) -> (Vec<u32>, RepairStats) {
-    let dag = MisDag { graph, prio };
-    repair_fixed_point_with_scratch(&dag, in_mis, seeds, scratch)
+    let mut dag = MisDag { graph, prio };
+    repair_fixed_point_with_scratch(&mut dag, in_mis, seeds, scratch)
 }
 
 /// Computes the greedy MIS from scratch (all vertices seeded over an

@@ -1,0 +1,175 @@
+//! Property tests of the slack-CSR arena and the edge-slot allocator —
+//! the representation invariants the batch-dynamic engine's correctness
+//! rests on, probed directly on [`DynGraph`] under random batch streams:
+//!
+//! * after every batch the arena is internally consistent
+//!   ([`DynGraph::validate`]: segments cover the arena, live prefixes
+//!   strictly sorted and front-packed, every arc's slot agrees with the slot
+//!   table and has a symmetric twin, free list exact);
+//! * the arena always compacts to exactly the sorted-adjacency form: the CSR
+//!   snapshot equals a from-scratch build of the surviving edge set;
+//! * **no live slot id is ever reused or moved**: while an edge is present
+//!   its slot keeps resolving to it, and a slot handed to a new edge was
+//!   freed by a deletion first.
+
+use std::collections::BTreeMap;
+
+use greedy_engine::prelude::*;
+use greedy_graph::csr::Graph;
+use greedy_graph::edge_list::Edge;
+use greedy_prims::random::hash64;
+use proptest::prelude::*;
+
+/// Tracks the ground truth the arena must agree with: the surviving edge set
+/// and the slot each live edge was assigned.
+#[derive(Default)]
+struct Reference {
+    /// Canonical packed edge key -> slot id, for live edges.
+    live: BTreeMap<u64, u32>,
+    /// Slots seen freed since their last allocation.
+    freed: Vec<bool>,
+}
+
+impl Reference {
+    fn check_batch(&mut self, inserted: &[SlotUpdate], deleted: &[SlotUpdate]) {
+        for upd in deleted {
+            let slot = self
+                .live
+                .remove(&upd.edge.sort_key())
+                .expect("deleted edge was live");
+            assert_eq!(slot, upd.slot, "deletion reported a moved slot");
+            if self.freed.len() <= slot as usize {
+                self.freed.resize(slot as usize + 1, false);
+            }
+            self.freed[slot as usize] = true;
+        }
+        for upd in inserted {
+            // A recycled id must have gone through the free list; a fresh id
+            // extends the table.
+            if (upd.slot as usize) < self.freed.len() && !self.freed[upd.slot as usize] {
+                assert!(
+                    !self.live.values().any(|&s| s == upd.slot),
+                    "slot {} handed out while still live",
+                    upd.slot
+                );
+            }
+            if self.freed.len() <= upd.slot as usize {
+                self.freed.resize(upd.slot as usize + 1, false);
+            }
+            self.freed[upd.slot as usize] = false;
+            let prev = self.live.insert(upd.edge.sort_key(), upd.slot);
+            assert!(prev.is_none(), "insertion of an already-live edge");
+        }
+    }
+
+    fn check_graph(&self, g: &DynGraph) {
+        // Every live edge still resolves through its original slot, in both
+        // directions — ids never move while the edge lives.
+        for (&key, &slot) in &self.live {
+            let e = Edge::new((key >> 32) as u32, key as u32);
+            assert_eq!(g.edge_slot(e.u, e.v), Some(slot), "slot of {e:?} moved");
+            assert_eq!(g.slot_edge(slot), Some(e));
+        }
+        // The arena compacts to exactly the sorted-adjacency form of the
+        // surviving edge set.
+        let expected: Vec<Edge> = self
+            .live
+            .keys()
+            .map(|&key| Edge::new((key >> 32) as u32, key as u32))
+            .collect();
+        assert_eq!(
+            g.to_graph(),
+            Graph::from_edges(g.num_vertices(), &expected),
+            "compacted arena diverges from the sorted adjacency"
+        );
+        assert_eq!(g.num_edges(), self.live.len());
+    }
+}
+
+/// One deterministic raw batch: hashed endpoint pairs (insertions) and a
+/// sample of currently-present edges (deletions).
+fn raw_batch(
+    g: &DynGraph,
+    seed: u64,
+    round: u64,
+    n_ins: u64,
+    n_del: u64,
+) -> (Vec<Edge>, Vec<Edge>) {
+    let n = g.num_vertices() as u64;
+    let ins: Vec<Edge> = (0..n_ins)
+        .map(|i| {
+            Edge::new(
+                (hash64(seed, round * 1_000 + 2 * i) % n) as u32,
+                (hash64(seed, round * 1_000 + 2 * i + 1) % n) as u32,
+            )
+        })
+        .collect();
+    let present = g.to_edge_list().into_parts().1;
+    let del: Vec<Edge> = if present.is_empty() {
+        Vec::new()
+    } else {
+        (0..n_del)
+            .map(|i| {
+                present
+                    [(hash64(seed ^ 0xDE1E7E, round * 1_000 + i) % present.len() as u64) as usize]
+            })
+            .collect()
+    };
+    (ins, del)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+    #[test]
+    fn prop_arena_and_slot_invariants_under_batch_streams(
+        n in 4usize..60,
+        seed in any::<u64>(),
+        ins_per_round in 1u64..25,
+        del_per_round in 0u64..15,
+    ) {
+        let mut g = DynGraph::new(n);
+        let mut reference = Reference::default();
+        for round in 0..12u64 {
+            let (ins, del) = raw_batch(&g, seed, round, ins_per_round, del_per_round);
+            let deleted = g.delete_edges(&del);
+            let inserted = g.insert_edges(&ins);
+            reference.check_batch(&inserted, &deleted);
+            g.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            reference.check_graph(&g);
+        }
+    }
+}
+
+#[test]
+fn rebuilds_preserve_slots_and_adjacency() {
+    // Force repeated arena rebuilds (hub overflow + mass deletion shrink)
+    // and check the stable-slot contract survives each one.
+    let mut g = DynGraph::new(400);
+    let mut reference = Reference::default();
+    for round in 0..30u64 {
+        // Hub-heavy insertions overflow vertex 0's segment often.
+        let ins: Vec<Edge> = (0..20)
+            .map(|i| Edge::new(0, 1 + ((hash64(9, round * 100 + i) % 399) as u32)))
+            .chain((0..10).map(|i| {
+                Edge::new(
+                    (hash64(10, round * 100 + 2 * i) % 400) as u32,
+                    (hash64(10, round * 100 + 2 * i + 1) % 400) as u32,
+                )
+            }))
+            .collect();
+        let present = g.to_edge_list().into_parts().1;
+        let del: Vec<Edge> = present
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| hash64(11, round * 1_000 + *i as u64).is_multiple_of(3))
+            .map(|(_, &e)| e)
+            .collect();
+        let deleted = g.delete_edges(&del);
+        let inserted = g.insert_edges(&ins);
+        reference.check_batch(&inserted, &deleted);
+        g.validate()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        reference.check_graph(&g);
+    }
+    assert!(g.rebuilds() >= 1, "the stream never exercised a rebuild");
+}

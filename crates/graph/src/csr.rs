@@ -217,6 +217,21 @@ impl Graph {
             .collect()
     }
 
+    /// Builds a graph directly from already-valid CSR arrays: `offsets` of
+    /// length `n + 1` and the concatenated, per-vertex-sorted `neighbors`.
+    /// This is the zero-copy path back from flat external layouts (the
+    /// batch-dynamic engine's slack-CSR arena compacts straight into these
+    /// arrays); full validation runs in debug builds.
+    pub fn from_csr_arrays(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+        let g = Self { offsets, neighbors };
+        debug_assert!(
+            g.validate().is_ok(),
+            "from_csr_arrays: input violates CSR invariants: {:?}",
+            g.validate()
+        );
+        g
+    }
+
     /// Builds a graph from per-vertex adjacency lists that already satisfy
     /// the CSR invariants: each list strictly sorted, no self-loops, and
     /// symmetric (`w ∈ adj[v] ⟺ v ∈ adj[w]`). This is the fast path back

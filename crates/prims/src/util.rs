@@ -190,6 +190,35 @@ mod tests {
     }
 
     #[test]
+    fn sixty_four_coarse_tasks_split_across_threads() {
+        // Regression for the shim-grain trap: the rayon shim's `par_iter`
+        // does not split collections shorter than its 256-element grain, so
+        // a 64-task coarse fan-out routed through it would run entirely on
+        // the calling thread. `par_map_blocks` must actually distribute
+        // those 64 tasks — this is the fan-out shape of the engine's
+        // 64-vertex arena rebalance, which depends on this property.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                par_map_blocks((0..64usize).collect(), &|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    // Make each task coarse enough that helpers get a chance
+                    // to steal before the first thread drains everything.
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                })
+            });
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "64 coarse tasks under a 4-thread pool all ran on one thread"
+        );
+    }
+
+    #[test]
     fn par_map_blocks_never_exceeds_thread_budget() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let live = AtomicUsize::new(0);

@@ -33,6 +33,15 @@ pub const MAX_FRAME_LEN: u32 = 16 << 20;
 /// connection open.
 pub const MAX_QUERY_VERTICES: usize = 1 << 21;
 
+/// Hard ceiling on slot ids carried in one [`RoundDelta`] (2M ≈ 8 MB). A
+/// matching cascade can flip far more edges than the batch contained, and a
+/// commit acknowledgment that outgrew [`MAX_FRAME_LEN`] would kill the
+/// writer's connection *after* its updates committed; instead the id list is
+/// truncated to this bound (earliest slot ids kept — the list is sorted)
+/// while [`RoundDelta::matching_changed`] always reports the true count, so
+/// truncation is detectable by comparing it with `matching_slots.len()`.
+pub const MAX_DELTA_SLOTS: usize = 1 << 21;
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -52,7 +61,7 @@ pub enum Request {
 }
 
 /// What a committed round did for the updates a writer contributed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundDelta {
     /// Id of the round the updates landed in.
     pub round: u64,
@@ -62,8 +71,15 @@ pub struct RoundDelta {
     pub deleted: u64,
     /// Vertices whose MIS membership flipped in the round.
     pub mis_changed: u64,
-    /// Edges whose matching membership flipped in the round.
+    /// Total number of edges whose matching membership flipped in the round
+    /// (never truncated, unlike the id list below).
     pub matching_changed: u64,
+    /// Stable slot ids of the edges whose matching membership flipped in
+    /// the round, sorted ascending and truncated to [`MAX_DELTA_SLOTS`] so
+    /// the acknowledgment always fits a frame. Slot ids are the engine's
+    /// dense update-stable edge identifiers, so clients can correlate flips
+    /// across rounds without re-deriving hashed edge keys.
+    pub matching_slots: Vec<u32>,
 }
 
 /// Server/engine counters, read from the published snapshot (never from the
@@ -206,6 +222,7 @@ impl Response {
                 put_u64(&mut buf, d.deleted);
                 put_u64(&mut buf, d.mis_changed);
                 put_u64(&mut buf, d.matching_changed);
+                put_vertices(&mut buf, &d.matching_slots);
             }
             Response::MisMembership { round, in_mis } => {
                 buf.push(2);
@@ -254,6 +271,7 @@ impl Response {
                 deleted: c.u64()?,
                 mis_changed: c.u64()?,
                 matching_changed: c.u64()?,
+                matching_slots: c.vertices()?,
             }),
             2 => {
                 let round = c.u64()?;
@@ -448,8 +466,10 @@ mod tests {
             inserted: 3,
             deleted: 1,
             mis_changed: 4,
-            matching_changed: 2,
+            matching_changed: 3,
+            matching_slots: vec![0, 17, u32::MAX - 1],
         }));
+        roundtrip_response(Response::Committed(RoundDelta::default()));
         roundtrip_response(Response::MisMembership {
             round: 1,
             in_mis: vec![true, false, true],

@@ -74,9 +74,10 @@ pub struct CommittedRound {
 }
 
 /// Per-round rendezvous between the engine thread and the writers waiting on
-/// that round.
+/// that round. The delta sits behind an `Arc` so each waiter leaves the
+/// scheduler lock with a pointer clone and deep-copies outside it.
 struct Slot {
-    result: Option<RoundDelta>,
+    result: Option<std::sync::Arc<RoundDelta>>,
     waiters: usize,
 }
 
@@ -189,12 +190,15 @@ impl RoundScheduler {
         }
         loop {
             if let Some(slot) = s.slots.get_mut(&ticket) {
-                if let Some(delta) = slot.result {
+                if let Some(delta) = slot.result.clone() {
                     slot.waiters -= 1;
                     if slot.waiters == 0 {
                         s.slots.remove(&ticket);
                     }
-                    return Ok(delta);
+                    // The deep copy of the (possibly large) delta happens
+                    // outside the scheduler lock.
+                    drop(s);
+                    return Ok((*delta).clone());
                 }
             }
             if s.engine_exited {
@@ -293,13 +297,23 @@ impl RoundScheduler {
                     });
             }
 
-            let delta = RoundDelta {
+            let delta = std::sync::Arc::new(RoundDelta {
                 round,
                 inserted: report.edges_inserted as u64,
                 deleted: report.edges_deleted as u64,
                 mis_changed: report.mis_changed.len() as u64,
                 matching_changed: report.matching_changed.len() as u64,
-            };
+                // Stable slot ids of the flipped edges — already sorted by
+                // slot in the engine's report; truncated so the commit
+                // acknowledgment always fits a protocol frame (the count
+                // above stays exact).
+                matching_slots: report
+                    .matching_changed
+                    .iter()
+                    .take(crate::protocol::MAX_DELTA_SLOTS)
+                    .map(|d| d.slot)
+                    .collect(),
+            });
             let mut s = self.state.lock().expect("scheduler poisoned");
             s.committed_round = round;
             if let Some(slot) = s.slots.get_mut(&round) {

@@ -259,6 +259,59 @@ fn engine_state_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn matching_slot_deltas_are_thread_count_independent() {
+    use greedy_prims::random::hash64;
+
+    // The per-batch matching deltas are keyed by stable slot ids. Slot
+    // allocation (free-list recycling included) and the round-machinery
+    // repair must both be schedule-independent, so the full (slot, edge,
+    // membership) delta stream has to match byte for byte at every pool
+    // size — this is what lets downstream consumers correlate flips across
+    // rounds without re-deriving hashed edge keys.
+    let base = random_graph(1_000, 3_000, 19);
+    let run = |threads: usize| {
+        in_pool(threads, || {
+            let mut engine = Engine::from_graph(&base, 5);
+            (0..8u64)
+                .map(|round| {
+                    let mut batch = EdgeBatch::new();
+                    for i in 0..40 {
+                        batch.insert(
+                            (hash64(71, round * 100 + 2 * i) % 1_000) as u32,
+                            (hash64(71, round * 100 + 2 * i + 1) % 1_000) as u32,
+                        );
+                    }
+                    // Deletions drawn from the *matched* edges so the
+                    // deletion-repair path (freed slots + reseeded
+                    // neighborhoods) runs every round.
+                    let matched = engine.matching();
+                    for i in 0..10u64 {
+                        if !matched.is_empty() {
+                            let e = matched
+                                [(hash64(72, round * 100 + i) % matched.len() as u64) as usize];
+                            batch.delete(e.u, e.v);
+                        }
+                    }
+                    engine.apply_batch(&batch).matching_changed
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let reference = run(1);
+    assert!(
+        reference.iter().any(|deltas| !deltas.is_empty()),
+        "the stream never flipped a matching edge — the test is vacuous"
+    );
+    for threads in sweep_threads() {
+        assert_eq!(
+            run(threads),
+            reference,
+            "matching slot deltas changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn spanning_forest_is_prefix_and_thread_independent() {
     let edges = random_graph(2_000, 6_000, 13).to_edge_list();
     let pi = random_edge_permutation(edges.num_edges(), 14);

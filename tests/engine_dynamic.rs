@@ -94,7 +94,18 @@ proptest! {
                 .copied()
                 .collect();
             matching_diff.sort_unstable_by_key(|e| e.sort_key());
-            prop_assert_eq!(&report.matching_changed, &matching_diff);
+            let mut reported: Vec<Edge> =
+                report.matching_changed.iter().map(|d| d.edge).collect();
+            reported.sort_unstable_by_key(|e| e.sort_key());
+            prop_assert_eq!(&reported, &matching_diff);
+            // Each delta's slot id resolves back to its edge (stable-id
+            // contract), and its membership flag matches the new state.
+            for d in &report.matching_changed {
+                prop_assert_eq!(d.matched, after_matching.contains(&d.edge));
+                if d.matched {
+                    prop_assert_eq!(engine.graph().slot_edge(d.slot), Some(d.edge));
+                }
+            }
         }
     }
 }
