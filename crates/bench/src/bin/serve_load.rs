@@ -1,22 +1,33 @@
 //! Load generator for the `greedy_server` update/query service.
 //!
 //! Spawns a server over a real TCP socket, then N writer clients (each
-//! submitting mixed insert/delete batches that group-commit into rounds) and
+//! submitting mixed insert/delete batches that group-commit into rounds),
 //! M reader clients (each hammering MIS/matching membership queries against
-//! the published snapshot), for a fixed duration. Reports:
+//! the published snapshot), and K push subscribers (each reconstructing the
+//! served state purely from the delta stream), for a fixed duration.
+//! Reports:
 //!
 //! * round throughput (committed rounds/s) and update throughput (submitted
 //!   and effective updates/s);
 //! * query latency percentiles (p50/p90/p99), measured per call at the
 //!   reader;
+//! * delta-subscription throughput (rounds folded/s) and resync count;
 //! * a coherence audit: the final served state must be byte-identical to a
-//!   from-scratch greedy engine on the final edge set (always), and with
-//!   `--verify` every recorded round's published snapshot is replayed and
-//!   checked the same way.
+//!   from-scratch greedy engine on the final edge set (always); every
+//!   subscriber's delta-reconstructed state must be byte-identical to the
+//!   published snapshot of each round it lands on and to the final engine
+//!   state (whenever `--subscribers` > 0); and with `--verify` every
+//!   recorded round's published snapshot is replayed and checked the same
+//!   way. Any divergence exits nonzero.
+//! * a publication microbenchmark at 500k vertices comparing the engine's
+//!   copy-on-write snapshot export (O(pages touched)) against a full O(n)
+//!   rebuild.
 //!
 //! The headline numbers are merged into `results/BENCH_quick.json` (entries
 //! `server_rounds_per_s`, `server_updates_per_s`, `server_query_p50_us`,
-//! `server_query_p99_us`), next to the sort/engine trajectory entries
+//! `server_query_p99_us`, `server_subscribe_deltas_per_s`,
+//! `server_subscribe_resyncs`, `server_publish_cow_us`,
+//! `server_publish_full_us`), next to the sort/engine trajectory entries
 //! `run_all --quick` writes; re-runs replace the previous `server_*` entries
 //! instead of accumulating.
 //!
@@ -33,7 +44,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use greedy_bench::{merge_quick_entries, Scale};
-use greedy_engine::prelude::{EdgeBatch, Engine};
+use greedy_engine::prelude::{EdgeBatch, Engine, ServerSnapshot};
+use greedy_graph::edge_list::Edge;
 use greedy_graph::gen::random::random_graph;
 use greedy_prims::random::hash64;
 use greedy_server::prelude::*;
@@ -43,11 +55,15 @@ struct LoadConfig {
     m: usize,
     writers: usize,
     readers: usize,
+    /// Push subscribers reconstructing state purely from the delta stream.
+    subscribers: usize,
     batch: usize,
     duration: Duration,
     seed: u64,
     /// Record every round and replay them all after shutdown.
     verify_rounds: bool,
+    /// Run the 500k-vertex snapshot-publication microbenchmark.
+    publish_bench: bool,
     max_batch_updates: usize,
     max_delay: Duration,
     /// Pause between reader queries. Readers are latency *samplers*; left
@@ -64,15 +80,34 @@ impl Default for LoadConfig {
             m: 500_000,
             writers: 4,
             readers: 4,
+            subscribers: 0,
             batch: 2_048,
             duration: Duration::from_secs(3),
             seed: 42,
             verify_rounds: false,
+            publish_bench: false,
             max_batch_updates: 8_192,
             max_delay: Duration::from_millis(2),
             reader_pace: Duration::from_millis(1),
         }
     }
+}
+
+/// Bound on the per-subscriber audit tail: materialized snapshots are O(n)
+/// each, so an unbounded per-round history would dominate memory on long
+/// runs. The quick CI run commits far fewer rounds than this, so there the
+/// tail covers every round.
+const MAX_SUBSCRIBER_SAMPLES: usize = 1_024;
+
+#[derive(Default)]
+struct SubscriberRun {
+    /// Rounds the replica advanced through (deltas folded + snapshot
+    /// resyncs).
+    advances: u64,
+    resyncs: u64,
+    /// Tail of reconstructed states, newest last.
+    samples: std::collections::VecDeque<(u64, ServerSnapshot)>,
+    final_state: Option<(u64, ServerSnapshot)>,
 }
 
 fn parse_args() -> LoadConfig {
@@ -92,6 +127,9 @@ fn parse_args() -> LoadConfig {
             }
             "--writers" => cfg.writers = take("--writers").parse().expect("bad --writers"),
             "--readers" => cfg.readers = take("--readers").parse().expect("bad --readers"),
+            "--subscribers" => {
+                cfg.subscribers = take("--subscribers").parse().expect("bad --subscribers")
+            }
             "--batch" => cfg.batch = take("--batch").parse().expect("bad --batch"),
             "--duration-secs" => {
                 cfg.duration =
@@ -103,21 +141,25 @@ fn parse_args() -> LoadConfig {
                     Duration::from_micros(take("--reader-pace-us").parse().expect("bad pace"))
             }
             "--verify" => cfg.verify_rounds = true,
+            "--publish-bench" => cfg.publish_bench = true,
             // CI smoke mode: tiny graph, short run, full per-round audit —
             // finishes in a couple of seconds.
             "--quick" => {
                 (cfg.n, cfg.m) = Scale::Tiny.random_size();
                 cfg.writers = 2;
                 cfg.readers = 2;
+                cfg.subscribers = 2;
                 cfg.batch = 512;
                 cfg.duration = Duration::from_millis(1_500);
                 cfg.verify_rounds = true;
+                cfg.publish_bench = true;
                 cfg.reader_pace = Duration::from_micros(300);
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --scale tiny|small|medium --writers N --readers M --batch B \
-                     --duration-secs S --seed X --reader-pace-us U --verify --quick"
+                    "flags: --scale tiny|small|medium --writers N --readers M --subscribers K \
+                     --batch B --duration-secs S --seed X --reader-pace-us U --verify \
+                     --publish-bench --quick"
                 );
                 std::process::exit(0);
             }
@@ -131,8 +173,16 @@ fn parse_args() -> LoadConfig {
 fn main() {
     let cfg = parse_args();
     eprintln!(
-        "== serve_load: n={} m={} writers={} readers={} batch={} duration={:?} verify={}",
-        cfg.n, cfg.m, cfg.writers, cfg.readers, cfg.batch, cfg.duration, cfg.verify_rounds
+        "== serve_load: n={} m={} writers={} readers={} subscribers={} batch={} duration={:?} \
+         verify={}",
+        cfg.n,
+        cfg.m,
+        cfg.writers,
+        cfg.readers,
+        cfg.subscribers,
+        cfg.batch,
+        cfg.duration,
+        cfg.verify_rounds
     );
 
     let base = random_graph(cfg.n, cfg.m, cfg.seed);
@@ -145,6 +195,7 @@ fn main() {
                 max_delay: cfg.max_delay,
             },
             record_rounds: cfg.verify_rounds,
+            ..ServerConfig::default()
         },
     )
     .expect("failed to start server");
@@ -229,6 +280,36 @@ fn main() {
         })
         .collect();
 
+    // Subscribers: reconstruct the served state purely from the push-style
+    // delta stream and keep a bounded tail of (round, snapshot) samples for
+    // the post-run audit. They run until shutdown closes the feed, which
+    // flushes the final round, so each one ends on the final committed
+    // state.
+    let subscribers: Vec<_> = (0..cfg.subscribers)
+        .map(|_| {
+            thread::spawn(move || -> SubscriberRun {
+                let mut sub = Client::connect(addr)
+                    .expect("subscriber connect")
+                    .subscribe_fresh()
+                    .expect("subscribe");
+                // Fail loudly instead of hanging if the feed ever wedges.
+                sub.set_timeout(Some(Duration::from_secs(60)))
+                    .expect("subscriber timeout");
+                let mut run = SubscriberRun::default();
+                while let Some(state) = sub.next_round().expect("subscriber stream") {
+                    run.advances += 1;
+                    run.samples.push_back((state.round(), state.to_snapshot()));
+                    if run.samples.len() > MAX_SUBSCRIBER_SAMPLES {
+                        run.samples.pop_front();
+                    }
+                }
+                run.resyncs = sub.resyncs();
+                run.final_state = sub.state().map(|s| (s.round(), s.to_snapshot()));
+                run
+            })
+        })
+        .collect();
+
     thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
     let mut submitted = 0u64;
@@ -244,6 +325,12 @@ fn main() {
     latencies.sort_unstable();
 
     let report = handle.shutdown();
+    // Subscriber streams end when shutdown closes the feed, so join them
+    // only after `shutdown()` returns.
+    let subscriber_runs: Vec<SubscriberRun> = subscribers
+        .into_iter()
+        .map(|s| s.join().expect("subscriber panicked"))
+        .collect();
     let stats = *report.engine.stats();
     let effective = stats.edges_inserted + stats.edges_deleted;
     let rounds = stats.batches;
@@ -290,6 +377,60 @@ fn main() {
         }
     }
 
+    // Subscriber audit: every delta-reconstructed state a subscriber landed
+    // on must be byte-identical to the snapshot the server published for
+    // that round, and each subscriber must end on the final committed state
+    // (shutdown flushes the feed, so the stream always reaches it).
+    let final_snapshot = report.engine.server_snapshot();
+    let by_round: std::collections::HashMap<u64, &ServerSnapshot> = report
+        .rounds
+        .iter()
+        .map(|r| (r.round, &r.snapshot.state))
+        .collect();
+    let mut sub_divergence = false;
+    for (i, run) in subscriber_runs.iter().enumerate() {
+        match &run.final_state {
+            Some((round, state)) if *state != final_snapshot => {
+                eprintln!(
+                    "   SUBSCRIBE FAILED: subscriber {i} ended on round {round} with a \
+                     state diverging from the final committed state"
+                );
+                sub_divergence = true;
+            }
+            None if rounds > 0 => {
+                eprintln!(
+                    "   SUBSCRIBE FAILED: subscriber {i} reconstructed no state over \
+                     {rounds} committed rounds"
+                );
+                sub_divergence = true;
+            }
+            _ => {}
+        }
+        let mut checked = 0usize;
+        for (round, state) in &run.samples {
+            if let Some(published) = by_round.get(round) {
+                checked += 1;
+                if state != *published {
+                    eprintln!(
+                        "   SUBSCRIBE FAILED: subscriber {i} diverges from the published \
+                         snapshot at round {round}"
+                    );
+                    sub_divergence = true;
+                }
+            }
+        }
+        if cfg.verify_rounds && !sub_divergence {
+            eprintln!(
+                "   verified: subscriber {i} byte-identical on {checked} sampled rounds \
+                 ({} advances, {} resyncs)",
+                run.advances, run.resyncs
+            );
+        }
+    }
+    if sub_divergence {
+        std::process::exit(1);
+    }
+
     let pct = |p: f64| -> u64 {
         if latencies.is_empty() {
             return 0;
@@ -312,9 +453,22 @@ fn main() {
         pct(0.90),
         pct(0.99)
     );
+    let deltas_folded: u64 = subscriber_runs
+        .iter()
+        .map(|r| r.advances.saturating_sub(r.resyncs))
+        .sum();
+    let resyncs_total: u64 = subscriber_runs.iter().map(|r| r.resyncs).sum();
+    let subscribe_deltas_per_s = deltas_folded as f64 / secs;
+    if cfg.subscribers > 0 {
+        eprintln!(
+            "   subscribers        {} (deltas folded {deltas_folded}, \
+             {subscribe_deltas_per_s:.0}/s, resyncs {resyncs_total})",
+            cfg.subscribers
+        );
+    }
 
     let clients = cfg.writers + cfg.readers;
-    let rows = vec![
+    let mut rows = vec![
         quick_row(
             "server_rounds_per_s",
             clients,
@@ -348,6 +502,48 @@ fn main() {
             "us",
         ),
     ];
+    if cfg.subscribers > 0 {
+        rows.push(quick_row(
+            "server_subscribe_deltas_per_s",
+            cfg.subscribers,
+            cfg.n,
+            cfg.m,
+            subscribe_deltas_per_s,
+            "deltas/s",
+        ));
+        rows.push(quick_row(
+            "server_subscribe_resyncs",
+            cfg.subscribers,
+            cfg.n,
+            cfg.m,
+            resyncs_total as f64,
+            "resyncs",
+        ));
+    }
+    if cfg.publish_bench {
+        let (cow_us, full_us, pages, pb_n, pb_m) = publication_bench(cfg.seed);
+        eprintln!(
+            "   publish (n={pb_n})  cow {cow_us:.1} us ({pages} pages touched) vs full \
+             rebuild {full_us:.1} us ({:.0}x)",
+            full_us / cow_us.max(1e-9)
+        );
+        rows.push(quick_row(
+            "server_publish_cow_us",
+            1,
+            pb_n,
+            pb_m,
+            cow_us,
+            "us",
+        ));
+        rows.push(quick_row(
+            "server_publish_full_us",
+            1,
+            pb_n,
+            pb_m,
+            full_us,
+            "us",
+        ));
+    }
     merge_quick_entries(
         Path::new("results/BENCH_quick.json"),
         cfg.seed,
@@ -359,6 +555,44 @@ fn main() {
         "   merged {} server_* entries into results/BENCH_quick.json",
         rows.len()
     );
+}
+
+/// What a round's snapshot publication costs at 500k vertices: the
+/// copy-on-write export (`server_snapshot` — O(pages) refcount bumps, with
+/// only the round's touched pages freshly repacked beforehand) versus the
+/// from-scratch O(n) repack (`rebuild_server_snapshot`) the serving layer
+/// previously paid on every commit. A small batch is applied first so the
+/// touched-page count reflects a realistic round.
+fn publication_bench(seed: u64) -> (f64, f64, usize, usize, usize) {
+    const N: usize = 500_000;
+    const M: usize = 500_000;
+    let base = random_graph(N, M, seed ^ 0x51AB);
+    let mut engine = Engine::from_graph(&base, seed);
+    let insertions: Vec<Edge> = (0..64u64)
+        .map(|i| {
+            Edge::new(
+                (hash64(seed ^ 0x9B1D, 2 * i) % N as u64) as u32,
+                (hash64(seed ^ 0x9B1D, 2 * i + 1) % N as u64) as u32,
+            )
+        })
+        .collect();
+    engine.apply_batch(&EdgeBatch {
+        insertions,
+        deletions: Vec::new(),
+    });
+    let pages = engine.last_publication_pages();
+    let reps = 32u32;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(engine.server_snapshot());
+    }
+    let cow_us = t.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(engine.rebuild_server_snapshot());
+    }
+    let full_us = t.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    (cow_us, full_us, pages, N, M)
 }
 
 /// One trajectory row. Unlike `run_all`'s timing rows (whose metric key is

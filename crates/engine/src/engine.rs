@@ -20,7 +20,7 @@ use greedy_graph::edge_list::Edge;
 use crate::dyn_graph::DynGraph;
 use crate::matching::{matching_from_scratch, MatchDelta, MatchingState};
 use crate::mis::{mis_from_scratch, repair_mis, vertex_priorities};
-use crate::snapshot::ServerSnapshot;
+use crate::snapshot::{ServerSnapshot, PAGE_VERTICES};
 
 /// A batch of edge updates, applied atomically: deletions first, then
 /// insertions (so a batch may delete and re-insert the same edge).
@@ -143,6 +143,15 @@ pub struct Engine {
     /// sized to the larger item space serves both. Kept across batches so a
     /// tiny batch's repair costs O(Δ) instead of re-zeroing O(n) flags.
     scratch: RepairScratch,
+    /// Current MIS size, maintained by flips (so exports never recount).
+    mis_size: usize,
+    /// The maintained copy-on-write serving export: after each batch only
+    /// the pages touched by the batch's deltas are repacked, so
+    /// [`Engine::server_snapshot`] is O(pages touched), not O(n).
+    serving: ServerSnapshot,
+    /// Pages the most recent batch repacked (MIS + partner), for tests and
+    /// benches asserting publication really is O(pages touched).
+    last_publication_pages: usize,
     stats: EngineStats,
 }
 
@@ -174,6 +183,13 @@ impl Engine {
             matching_redecisions: matching_stats.decided,
             ..EngineStats::default()
         };
+        let mis_size = in_mis.iter().filter(|&&m| m).count();
+        let serving = ServerSnapshot::build(
+            graph.num_edges(),
+            &in_mis,
+            matching.partners(),
+            matching.size(),
+        );
         Self {
             graph,
             seed,
@@ -181,6 +197,9 @@ impl Engine {
             in_mis,
             matching,
             scratch,
+            mis_size,
+            serving,
+            last_publication_pages: 0,
             stats,
         }
     }
@@ -248,6 +267,37 @@ impl Engine {
         self.stats.mis_redecisions += mis_repair.decided;
         self.stats.matching_redecisions += matching_repair.decided;
 
+        // Copy-on-write publication: repack exactly the snapshot pages this
+        // batch's deltas touched. MIS flips dirty their own page; a matching
+        // flip moves the partner entries of both endpoints (any partner entry
+        // that changed is an endpoint of some flipped edge, because at the
+        // fixed point each vertex has at most one matched incident edge).
+        for &v in &mis_changed {
+            self.mis_size = if self.in_mis[v as usize] {
+                self.mis_size + 1
+            } else {
+                self.mis_size - 1
+            };
+        }
+        let mut mis_pages: Vec<usize> = mis_changed
+            .iter()
+            .map(|&v| v as usize / PAGE_VERTICES)
+            .collect();
+        mis_pages.dedup(); // mis_changed is sorted, so pages arrive sorted
+        let mut partner_pages: Vec<usize> = matching_changed
+            .iter()
+            .flat_map(|d| [d.edge.u, d.edge.v])
+            .map(|v| v as usize / PAGE_VERTICES)
+            .collect();
+        partner_pages.sort_unstable();
+        partner_pages.dedup();
+        self.serving.refresh_mis_pages(&mis_pages, &self.in_mis);
+        self.serving
+            .refresh_partner_pages(&partner_pages, self.matching.partners());
+        self.serving
+            .set_counts(self.graph.num_edges(), self.mis_size, self.matching.size());
+        self.last_publication_pages = mis_pages.len() + partner_pages.len();
+
         BatchReport {
             edges_inserted: inserted.len(),
             edges_deleted: deleted.len(),
@@ -267,16 +317,38 @@ impl Engine {
         }
     }
 
-    /// The serving-shaped export: MIS bitset + matching partner array, a
-    /// straight O(n)-word copy of the maintained state with no CSR rebuild
-    /// or per-edge work. This is what the server publishes after each round.
+    /// The serving-shaped export: MIS bitset + matching partner array as
+    /// copy-on-write pages. The engine maintains the pages across batches
+    /// (only pages a batch's deltas touch get repacked), so this call is a
+    /// per-page `Arc` clone — O(pages touched) amortized publication, never
+    /// an O(n) copy. This is what the server publishes after each round.
     pub fn server_snapshot(&self) -> ServerSnapshot {
+        self.serving.clone()
+    }
+
+    /// The old O(n) publication path: packs every page from the flat
+    /// maintained state. Kept as the audit oracle (the COW export must stay
+    /// byte-identical to it) and as the baseline the publication bench
+    /// measures the paged path against.
+    pub fn rebuild_server_snapshot(&self) -> ServerSnapshot {
         ServerSnapshot::build(
             self.num_edges(),
             &self.in_mis,
             self.matching.partners(),
             self.matching.size(),
         )
+    }
+
+    /// Snapshot pages the most recent [`Engine::apply_batch`] repacked —
+    /// the real per-round publication cost, proportional to the deltas'
+    /// page span and never to `n`.
+    pub fn last_publication_pages(&self) -> usize {
+        self.last_publication_pages
+    }
+
+    /// Current MIS size (O(1), maintained by flips).
+    pub fn mis_size(&self) -> usize {
+        self.mis_size
     }
 
     /// Cumulative work counters.

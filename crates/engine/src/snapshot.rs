@@ -1,37 +1,86 @@
-//! Cheap exportable state snapshots for serving layers.
+//! Versioned copy-on-write state snapshots for serving layers.
 //!
 //! [`Engine::snapshot`](crate::engine::Engine::snapshot) materializes the
 //! full CSR graph plus both solution *sets* — the right shape for offline
 //! analysis, but far too heavy to rebuild after every update round when all a
 //! query front-end needs is membership lookups. [`ServerSnapshot`] is the
 //! serving-shaped export: the MIS as a packed bitset and the matching as the
-//! per-vertex partner array, both straight copies of the engine's maintained
-//! state (O(n) words, no sorting, no CSR rebuild, no per-edge work). The
-//! `greedy_server` crate publishes one behind an `Arc` after each committed
-//! round so readers answer membership queries without touching the engine.
+//! per-vertex partner array.
+//!
+//! Earlier revisions re-copied both arrays after every committed round — an
+//! O(n)-word publication cost that bounds the round rate once repairs get
+//! cheap. The storage is now **paged**: both arrays are split into fixed
+//! [`PAGE_VERTICES`]-vertex pages, each behind an `Arc`. The engine keeps the
+//! current snapshot alive and, after a batch, clones and repacks **only the
+//! pages the round's deltas touched** (MIS flips for bit pages, endpoints of
+//! matching flips for partner pages); untouched pages are shared with every
+//! previously published snapshot. Publishing a round therefore costs O(pages
+//! touched by the round), not O(n), while readers holding an old snapshot
+//! keep an immutable consistent view for free.
+
+use std::sync::Arc;
 
 use greedy_graph::edge_list::Edge;
 
+/// Vertices covered by one snapshot page (also its partner-word count; the
+/// MIS page is `PAGE_VERTICES / 64` packed words). 4096 keeps a page's
+/// repack cost trivial (16 KiB partners + 512 B bits) while a 500k-vertex
+/// snapshot is only ~123 pages of pointers to clone on publication.
+pub const PAGE_VERTICES: usize = 4096;
+
+/// 64-bit words per MIS page.
+const PAGE_WORDS: usize = PAGE_VERTICES / 64;
+
 /// An immutable membership view of the engine's maintained state: MIS bitset
-/// plus matching partner array.
+/// plus matching partner array, stored as copy-on-write pages.
 ///
 /// Equality is exact state equality (bit-for-bit on the MIS, word-for-word on
-/// the partners), which is what the server's coherence tests compare against
-/// from-scratch recomputes.
+/// the partners — page padding is deterministic), which is what the server's
+/// coherence tests compare against from-scratch recomputes. Cloning is cheap:
+/// one `Arc` clone per page, no data copies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerSnapshot {
     num_vertices: usize,
     num_edges: usize,
-    /// MIS membership, vertex `v` at bit `v % 64` of word `v / 64`.
-    mis_bits: Vec<u64>,
     mis_size: usize,
-    /// Matched partner per vertex, `u32::MAX` when unmatched.
-    partner: Vec<u32>,
     matching_size: usize,
+    /// MIS membership, vertex `v` at bit `v % 64` of word `(v / 64) %
+    /// PAGE_WORDS` of page `v / PAGE_VERTICES`. Tail padding is zero.
+    mis_pages: Vec<Arc<[u64]>>,
+    /// Matched partner per vertex (`u32::MAX` = unmatched), `PAGE_VERTICES`
+    /// entries per page. Tail padding is `u32::MAX`.
+    partner_pages: Vec<Arc<[u32]>>,
+}
+
+/// Packs one MIS page from the engine's flag array.
+fn pack_mis_page(page: usize, in_mis: &[bool]) -> Arc<[u64]> {
+    let base = page * PAGE_VERTICES;
+    let mut words = [0u64; PAGE_WORDS];
+    for (i, &m) in in_mis[base..in_mis.len().min(base + PAGE_VERTICES)]
+        .iter()
+        .enumerate()
+    {
+        if m {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    Arc::from(&words[..])
+}
+
+/// Copies one partner page from the engine's partner array, padding the tail
+/// with `u32::MAX`.
+fn pack_partner_page(page: usize, partner: &[u32]) -> Arc<[u32]> {
+    let base = page * PAGE_VERTICES;
+    let mut out = [u32::MAX; PAGE_VERTICES];
+    let end = partner.len().min(base + PAGE_VERTICES);
+    out[..end - base].copy_from_slice(&partner[base..end]);
+    Arc::from(&out[..])
 }
 
 impl ServerSnapshot {
-    /// Packs the engine's maintained flags into the export form.
+    /// Packs the engine's maintained flags into the paged export form,
+    /// repacking every page (the O(n) from-scratch build; incremental
+    /// publication goes through the `refresh_*` methods instead).
     pub(crate) fn build(
         num_edges: usize,
         in_mis: &[bool],
@@ -40,22 +89,74 @@ impl ServerSnapshot {
     ) -> Self {
         let n = in_mis.len();
         debug_assert_eq!(partner.len(), n);
-        let mut mis_bits = vec![0u64; n.div_ceil(64)];
-        let mut mis_size = 0usize;
-        for (v, &m) in in_mis.iter().enumerate() {
-            if m {
-                mis_bits[v / 64] |= 1 << (v % 64);
-                mis_size += 1;
-            }
-        }
+        let pages = n.div_ceil(PAGE_VERTICES);
         Self {
             num_vertices: n,
             num_edges,
-            mis_bits,
-            mis_size,
-            partner: partner.to_vec(),
+            mis_size: in_mis.iter().filter(|&&m| m).count(),
             matching_size,
+            mis_pages: (0..pages).map(|p| pack_mis_page(p, in_mis)).collect(),
+            partner_pages: (0..pages).map(|p| pack_partner_page(p, partner)).collect(),
         }
+    }
+
+    /// Rebuilds a snapshot from flat state: the full MIS bit words (packed
+    /// `n.div_ceil(64)` words) and the per-vertex partner array. Sizes are
+    /// derived from the data. This is how delta subscribers turn a
+    /// reconstructed replica into something byte-comparable with published
+    /// snapshots.
+    ///
+    /// # Panics
+    /// Panics if `mis_words` is not exactly `partners.len().div_ceil(64)`
+    /// words long or a padding bit past `n` is set.
+    pub fn from_parts(num_edges: usize, mis_words: &[u64], partners: &[u32]) -> Self {
+        let n = partners.len();
+        assert_eq!(mis_words.len(), n.div_ceil(64), "bit words must cover n");
+        if !n.is_multiple_of(64) {
+            if let Some(&last) = mis_words.last() {
+                assert_eq!(last >> (n % 64), 0, "padding bits past n must be zero");
+            }
+        }
+        let pages = n.div_ceil(PAGE_VERTICES);
+        let mis_pages = (0..pages)
+            .map(|p| {
+                let base = p * PAGE_WORDS;
+                let mut words = [0u64; PAGE_WORDS];
+                let end = mis_words.len().min(base + PAGE_WORDS);
+                words[..end - base].copy_from_slice(&mis_words[base..end]);
+                Arc::from(&words[..])
+            })
+            .collect();
+        Self {
+            num_vertices: n,
+            num_edges,
+            mis_size: mis_words.iter().map(|w| w.count_ones() as usize).sum(),
+            matching_size: partners.iter().filter(|&&p| p != u32::MAX).count() / 2,
+            mis_pages,
+            partner_pages: (0..pages).map(|p| pack_partner_page(p, partners)).collect(),
+        }
+    }
+
+    /// Repacks the listed MIS pages from the flag array (copy-on-write: the
+    /// old page `Arc`s stay alive inside previously published clones).
+    pub(crate) fn refresh_mis_pages(&mut self, pages: &[usize], in_mis: &[bool]) {
+        for &p in pages {
+            self.mis_pages[p] = pack_mis_page(p, in_mis);
+        }
+    }
+
+    /// Repacks the listed partner pages from the partner array.
+    pub(crate) fn refresh_partner_pages(&mut self, pages: &[usize], partner: &[u32]) {
+        for &p in pages {
+            self.partner_pages[p] = pack_partner_page(p, partner);
+        }
+    }
+
+    /// Updates the scalar counters after a round.
+    pub(crate) fn set_counts(&mut self, num_edges: usize, mis_size: usize, matching_size: usize) {
+        self.num_edges = num_edges;
+        self.mis_size = mis_size;
+        self.matching_size = matching_size;
     }
 
     /// Number of vertices.
@@ -89,7 +190,8 @@ impl ServerSnapshot {
             "ServerSnapshot::in_mis: vertex {v} out of range for n={}",
             self.num_vertices
         );
-        self.mis_bits[v as usize / 64] >> (v % 64) & 1 == 1
+        let vi = v as usize;
+        self.mis_pages[vi / PAGE_VERTICES][(vi % PAGE_VERTICES) / 64] >> (vi % 64) & 1 == 1
     }
 
     /// The matched partner of vertex `v`, or `None` when unmatched.
@@ -98,18 +200,37 @@ impl ServerSnapshot {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn partner_of(&self, v: u32) -> Option<u32> {
-        let p = self.partner[v as usize];
+        let vi = v as usize;
+        assert!(
+            vi < self.num_vertices,
+            "ServerSnapshot::partner_of: vertex {v} out of range for n={}",
+            self.num_vertices
+        );
+        let p = self.partner_pages[vi / PAGE_VERTICES][vi % PAGE_VERTICES];
         (p != u32::MAX).then_some(p)
     }
 
-    /// The packed MIS bitset (64 vertices per word).
-    pub fn mis_bits(&self) -> &[u64] {
-        &self.mis_bits
+    /// Materializes the packed MIS bitset (64 vertices per word, exactly
+    /// `n.div_ceil(64)` words). An O(n) copy — audits and full-snapshot
+    /// streaming, not the query path.
+    pub fn mis_words_vec(&self) -> Vec<u64> {
+        let mut words: Vec<u64> = Vec::with_capacity(self.mis_pages.len() * PAGE_WORDS);
+        for page in &self.mis_pages {
+            words.extend_from_slice(page);
+        }
+        words.truncate(self.num_vertices.div_ceil(64));
+        words
     }
 
-    /// The per-vertex partner array (`u32::MAX` = unmatched).
-    pub fn partners(&self) -> &[u32] {
-        &self.partner
+    /// Materializes the per-vertex partner array (`u32::MAX` = unmatched).
+    /// An O(n) copy — audits and full-snapshot streaming, not the query path.
+    pub fn partners_vec(&self) -> Vec<u32> {
+        let mut partner: Vec<u32> = Vec::with_capacity(self.partner_pages.len() * PAGE_VERTICES);
+        for page in &self.partner_pages {
+            partner.extend_from_slice(page);
+        }
+        partner.truncate(self.num_vertices);
+        partner
     }
 
     /// Unpacks the MIS as a sorted vertex list.
@@ -121,17 +242,23 @@ impl ServerSnapshot {
 
     /// The matching as canonical edges, sorted lexicographically.
     pub fn matched_edges(&self) -> Vec<Edge> {
-        self.partner
-            .iter()
-            .enumerate()
-            .filter(|&(v, &p)| p != u32::MAX && (v as u32) < p)
-            .map(|(v, &p)| Edge::new(v as u32, p))
-            .collect()
+        let mut edges = Vec::with_capacity(self.matching_size);
+        for (p, page) in self.partner_pages.iter().enumerate() {
+            let base = (p * PAGE_VERTICES) as u32;
+            for (i, &w) in page.iter().enumerate() {
+                let v = base + i as u32;
+                if w != u32::MAX && v < w {
+                    edges.push(Edge::new(v, w));
+                }
+            }
+        }
+        edges
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::engine::{EdgeBatch, Engine};
     use greedy_graph::gen::random::random_graph;
 
@@ -168,6 +295,63 @@ mod tests {
         // vertex must report no partner.
         let unmatched = (0..257u32).find(|&v| snap.partner_of(v).is_none());
         assert!(unmatched.is_some());
+    }
+
+    #[test]
+    fn incremental_publication_equals_full_rebuild() {
+        // The COW pages maintained across batches must stay byte-identical
+        // (PartialEq compares page contents) to the O(n) from-scratch pack.
+        let mut engine = Engine::from_graph(&random_graph(10_000, 30_000, 9), 21);
+        for round in 0..12u32 {
+            let batch = EdgeBatch::from_pairs(
+                (0..20).map(|i| {
+                    let k = round * 100 + i;
+                    ((k * 37 + 11) % 10_000, (k * 101 + 13) % 10_000)
+                }),
+                (0..8).map(|i| {
+                    let k = round * 100 + i;
+                    ((k * 37 + 11) % 10_000, (k * 101 + 13) % 10_000)
+                }),
+            );
+            engine.apply_batch(&batch);
+            assert_eq!(
+                engine.server_snapshot(),
+                engine.rebuild_server_snapshot(),
+                "round {round}: COW snapshot diverged from full rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn publication_cost_is_pages_touched_not_n() {
+        // A 2-edge batch on a 200k-vertex graph must touch only a handful of
+        // the ~49 + 49 pages, and old snapshots keep sharing the rest.
+        let n = 200_000;
+        let mut engine = Engine::from_graph(&random_graph(n, 100_000, 4), 13);
+        let before = engine.server_snapshot();
+        engine.apply_batch(&EdgeBatch::from_pairs([(0, 100_000), (1, 150_000)], []));
+        let total_pages = 2 * n.div_ceil(PAGE_VERTICES);
+        assert!(
+            engine.last_publication_pages() <= 8,
+            "2-edge batch repacked {} of {} pages",
+            engine.last_publication_pages(),
+            total_pages
+        );
+        // The pre-batch snapshot still answers from its own immutable pages.
+        assert_eq!(before.num_edges(), 100_000);
+        assert_eq!(engine.server_snapshot(), engine.rebuild_server_snapshot());
+    }
+
+    #[test]
+    fn from_parts_roundtrips() {
+        let engine = Engine::from_graph(&random_graph(1_000, 2_500, 6), 8);
+        let snap = engine.server_snapshot();
+        let rebuilt = ServerSnapshot::from_parts(
+            snap.num_edges(),
+            &snap.mis_words_vec(),
+            &snap.partners_vec(),
+        );
+        assert_eq!(rebuilt, snap);
     }
 
     #[test]

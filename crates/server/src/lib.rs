@@ -11,25 +11,36 @@
 //! ```text
 //!  writers ──▶ staging buffer ──▶ engine thread ──▶ apply_batch (1/round)
 //!    (TCP)        (mutex'd)      [rounds.rs]           │
-//!                                                      ▼
-//!  readers ◀── Arc<PublishedSnapshot> ◀── SnapshotCell::publish
-//!    (TCP)      [snapshot.rs, swap-only lock]
+//!                                          ┌───────────┴─────────────┐
+//!                                          ▼                         ▼
+//!  readers ◀── Arc<PublishedSnapshot> ◀── SnapshotCell      DeltaFeed (ring)
+//!    (TCP)      [snapshot.rs, swap-only lock]               [feed.rs]
+//!                                                                    │
+//!  subscribers ◀── Delta / Snapshot frames ◀── per-conn forwarder ◀──┘
+//!    (TCP)          [replica.rs folds them]    [serve.rs]
 //! ```
 //!
 //! * [`protocol`] — length-prefixed binary frames; requests
 //!   `InsertEdges` / `DeleteEdges` / `QueryMis` / `QueryMatched` / `Stats` /
-//!   `Shutdown`, typed responses carrying the batch round id.
+//!   `Shutdown` / `Subscribe`, typed responses carrying the batch round id,
+//!   push-style `Delta` frames, and `Snapshot` chunk streams.
 //! * [`rounds`] — the group-commit scheduler: concurrent writers stage
 //!   updates, a dedicated engine thread drains them into one
 //!   [`Engine::apply_batch`](greedy_engine::engine::Engine::apply_batch) per
 //!   round (flush on batch size or delay), and every writer learns its
 //!   round's delta.
-//! * [`snapshot`] — after each round an immutable MIS-bitset + partner-array
-//!   snapshot is swapped into a shared slot; queries read the `Arc` and never
-//!   block on repairs.
+//! * [`snapshot`] — after each round an immutable copy-on-write MIS-bitset +
+//!   partner-array snapshot is swapped into a shared slot; queries read the
+//!   `Arc` and never block on repairs, and publication costs only the pages
+//!   the round touched.
+//! * [`feed`] — the exact (uncapped) per-round deltas: a replay ring of the
+//!   last K rounds plus non-blocking fan-out to subscribers.
+//! * [`replica`] — client-side reconstruction: fold delta frames / assemble
+//!   snapshot streams back into byte-comparable state.
 //! * [`serve`] — the `std::net` front-end (thread-per-connection accept
-//!   loop), plus the typed [`Client`](serve::Client) the tests and the
-//!   `serve_load` load generator drive the server with.
+//!   loop), plus the typed [`Client`](serve::Client) and
+//!   [`Subscriber`](serve::Subscriber) the tests and the `serve_load` load
+//!   generator drive the server with.
 //!
 //! ## Example
 //!
@@ -53,15 +64,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod feed;
 pub mod protocol;
+pub mod replica;
 pub mod rounds;
 pub mod serve;
 pub mod snapshot;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::protocol::{Request, Response, RoundDelta, StatsReply};
-    pub use crate::rounds::{CommittedRound, RoundConfig, RoundScheduler};
-    pub use crate::serve::{serve, serve_on, Client, ServerConfig, ServerHandle, ShutdownReport};
+    pub use crate::feed::{DeltaFeed, FullDelta};
+    pub use crate::protocol::{
+        DeltaFrame, MatchFlip, Request, Response, RoundDelta, SnapshotChunk, StatsReply,
+    };
+    pub use crate::replica::{snapshot_chunks, FoldError, ReplicaState, SnapshotAssembler};
+    pub use crate::rounds::{CommitSinks, CommittedRound, RoundConfig, RoundScheduler};
+    pub use crate::serve::{
+        serve, serve_on, Client, ServerConfig, ServerHandle, ShutdownReport, Subscriber,
+    };
     pub use crate::snapshot::{PublishedSnapshot, SnapshotCell};
 }

@@ -4,7 +4,10 @@
 //! payload — a one-byte tag followed by the tag's fixed-layout body. Integers
 //! are little-endian; lists are a `u32` count followed by the elements. The
 //! same framing carries [`Request`]s client→server and [`Response`]s
-//! server→client, so both sides share one reader/writer pair.
+//! server→client, so both sides share one reader/writer pair. A connection
+//! that sends [`Request::Subscribe`] becomes push-only: the server streams
+//! [`Response::Delta`] frames (one per committed round) plus, when the
+//! subscriber has no usable base state, [`Response::Snapshot`] chunk streams.
 //!
 //! Robustness rules, enforced by [`read_frame`] and the decoders:
 //!
@@ -38,9 +41,30 @@ pub const MAX_QUERY_VERTICES: usize = 1 << 21;
 /// commit acknowledgment that outgrew [`MAX_FRAME_LEN`] would kill the
 /// writer's connection *after* its updates committed; instead the id list is
 /// truncated to this bound (earliest slot ids kept — the list is sorted)
-/// while [`RoundDelta::matching_changed`] always reports the true count, so
-/// truncation is detectable by comparing it with `matching_slots.len()`.
+/// while [`RoundDelta::matching_changed`] always reports the true count and
+/// [`RoundDelta::truncated`] says explicitly that the list is incomplete.
+/// The cap is **wire-only**: in-process deltas (the server's ring, the
+/// recorded rounds) are always exact and uncapped.
 pub const MAX_DELTA_SLOTS: usize = 1 << 21;
+
+/// Hard ceiling on MIS flips carried in one [`DeltaFrame`] (2M × 4 B = 8 MB).
+pub const MAX_DELTA_MIS_FLIPS: usize = 1 << 21;
+
+/// Hard ceiling on matching flips carried in one [`DeltaFrame`] (512k × 13 B
+/// ≈ 6.5 MB; together with a maximal MIS flip list the frame stays under
+/// [`MAX_FRAME_LEN`]). A delta that cannot fit is sent `truncated`, which
+/// subscribers refuse to fold — the server pushes a full snapshot stream
+/// instead.
+pub const MAX_DELTA_MATCH_FLIPS: usize = 1 << 19;
+
+/// Vertices per full-snapshot chunk frame (1M: 4 MB of partners + 128 KiB of
+/// MIS words per chunk). Always a multiple of 64 so every chunk's bit words
+/// align to whole vertices.
+pub const SNAPSHOT_CHUNK_VERTICES: usize = 1 << 20;
+
+/// `from` value in [`Request::Subscribe`] meaning "I have no base state —
+/// start with a full snapshot stream".
+pub const SUBSCRIBE_FRESH: u64 = u64::MAX;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +82,17 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down (staged updates are still committed).
     Shutdown,
+    /// Turn this connection into a push-style delta feed. `from` is the
+    /// round id of the state the subscriber already holds
+    /// ([`SUBSCRIBE_FRESH`] = none): the server replays rounds `from+1..`
+    /// from its delta ring when they are still buffered, and otherwise
+    /// (lagging too far, or no base state) streams a full snapshot first.
+    /// After the backlog the connection carries one [`Response::Delta`] per
+    /// committed round; the client sends nothing further.
+    Subscribe {
+        /// Round of the subscriber's base state, or [`SUBSCRIBE_FRESH`].
+        from: u64,
+    },
 }
 
 /// What a committed round did for the updates a writer contributed.
@@ -80,6 +115,76 @@ pub struct RoundDelta {
     /// dense update-stable edge identifiers, so clients can correlate flips
     /// across rounds without re-deriving hashed edge keys.
     pub matching_slots: Vec<u32>,
+    /// True when `matching_slots` was cut at the cap — the explicit signal
+    /// (not just `matching_changed != matching_slots.len()`) that this delta
+    /// is incomplete and must not be folded into a replica.
+    pub truncated: bool,
+}
+
+/// One matching membership flip, as carried by push-style [`DeltaFrame`]s:
+/// the stable slot id, the edge's endpoints, and its membership *after* the
+/// round (an edge deleted while matched appears with `matched == false`
+/// under the slot it held).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchFlip {
+    /// Stable slot id of the edge (its freed id when the edge was deleted).
+    pub slot: u32,
+    /// Canonical endpoints (`u < v`).
+    pub u: u32,
+    /// Canonical endpoints (`u < v`).
+    pub v: u32,
+    /// Matching membership after the round.
+    pub matched: bool,
+}
+
+/// A push-style round delta: everything a subscriber needs to advance its
+/// replica from round `round - 1` to `round`. MIS membership of each listed
+/// vertex *toggles*; matching flips rewrite the endpoints' partner entries
+/// (clear the `matched == false` flips first, then set the `true` ones).
+///
+/// A frame with `truncated == true` had a flip list cut at
+/// [`MAX_DELTA_MIS_FLIPS`] / [`MAX_DELTA_MATCH_FLIPS`] and **must not be
+/// folded** — the server only ever sends one when directly asked to encode
+/// an oversized delta; the push path falls back to a snapshot stream
+/// instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaFrame {
+    /// Round this delta advances the replica to.
+    pub round: u64,
+    /// Effective insertions of the round (net edge count moves by
+    /// `inserted - deleted`).
+    pub inserted: u64,
+    /// Effective deletions of the round.
+    pub deleted: u64,
+    /// Vertices whose MIS membership toggled, sorted ascending.
+    pub mis_flips: Vec<u32>,
+    /// Edges whose matching membership flipped, sorted by slot id.
+    pub match_flips: Vec<MatchFlip>,
+    /// True when either flip list was cut at its cap.
+    pub truncated: bool,
+}
+
+/// One chunk of a full-snapshot stream: the authoritative state of vertices
+/// `start .. start + partners.len()` at `round`, with `mis_words` packing
+/// the same range's MIS bits (start is 64-aligned; the final chunk of the
+/// stream sets `last`). Chunks arrive in ascending `start` order and a
+/// complete stream covers every vertex exactly once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Round of the snapshot being streamed.
+    pub round: u64,
+    /// Total vertices of the snapshot (every chunk repeats the header).
+    pub num_vertices: u64,
+    /// Edges present in the snapshot.
+    pub num_edges: u64,
+    /// First vertex this chunk covers (a multiple of 64).
+    pub start: u64,
+    /// MIS bits of the covered range, `partners.len().div_ceil(64)` words.
+    pub mis_words: Vec<u64>,
+    /// Partner entries of the covered range (`u32::MAX` = unmatched).
+    pub partners: Vec<u32>,
+    /// True on the stream's final chunk.
+    pub last: bool,
 }
 
 /// Server/engine counters, read from the published snapshot (never from the
@@ -128,6 +233,10 @@ pub enum Response {
     Stats(StatsReply),
     /// Acknowledges a [`Request::Shutdown`]; the connection closes after.
     ShuttingDown,
+    /// Push-style round delta on a subscribed connection.
+    Delta(DeltaFrame),
+    /// One chunk of a full-snapshot stream on a subscribed connection.
+    Snapshot(SnapshotChunk),
     /// The request could not be served; the connection closes after a
     /// protocol-level error, stays open for domain errors (e.g. a vertex id
     /// out of range).
@@ -187,6 +296,10 @@ impl Request {
             }
             Request::Stats => buf.push(5),
             Request::Shutdown => buf.push(6),
+            Request::Subscribe { from } => {
+                buf.push(7);
+                put_u64(&mut buf, *from);
+            }
         }
         buf
     }
@@ -202,6 +315,7 @@ impl Request {
             4 => Request::QueryMatched(c.vertices()?),
             5 => Request::Stats,
             6 => Request::Shutdown,
+            7 => Request::Subscribe { from: c.u64()? },
             tag => return Err(malformed(format!("unknown request tag {tag}"))),
         };
         c.finish()?;
@@ -223,6 +337,7 @@ impl Response {
                 put_u64(&mut buf, d.mis_changed);
                 put_u64(&mut buf, d.matching_changed);
                 put_vertices(&mut buf, &d.matching_slots);
+                buf.push(d.truncated as u8);
             }
             Response::MisMembership { round, in_mis } => {
                 buf.push(2);
@@ -251,6 +366,34 @@ impl Response {
                 }
             }
             Response::ShuttingDown => buf.push(5),
+            Response::Delta(d) => {
+                buf.push(7);
+                put_u64(&mut buf, d.round);
+                put_u64(&mut buf, d.inserted);
+                put_u64(&mut buf, d.deleted);
+                put_vertices(&mut buf, &d.mis_flips);
+                put_list_len(&mut buf, d.match_flips.len());
+                for f in &d.match_flips {
+                    put_u32(&mut buf, f.slot);
+                    put_u32(&mut buf, f.u);
+                    put_u32(&mut buf, f.v);
+                    buf.push(f.matched as u8);
+                }
+                buf.push(d.truncated as u8);
+            }
+            Response::Snapshot(s) => {
+                buf.push(8);
+                put_u64(&mut buf, s.round);
+                put_u64(&mut buf, s.num_vertices);
+                put_u64(&mut buf, s.num_edges);
+                put_u64(&mut buf, s.start);
+                put_list_len(&mut buf, s.mis_words.len());
+                for &w in &s.mis_words {
+                    put_u64(&mut buf, w);
+                }
+                put_vertices(&mut buf, &s.partners);
+                buf.push(s.last as u8);
+            }
             Response::Error(msg) => {
                 buf.push(6);
                 put_list_len(&mut buf, msg.len());
@@ -272,6 +415,7 @@ impl Response {
                 mis_changed: c.u64()?,
                 matching_changed: c.u64()?,
                 matching_slots: c.vertices()?,
+                truncated: c.boolean()?,
             }),
             2 => {
                 let round = c.u64()?;
@@ -301,6 +445,58 @@ impl Response {
                 edges_deleted: c.u64()?,
             }),
             5 => Response::ShuttingDown,
+            7 => {
+                let round = c.u64()?;
+                let inserted = c.u64()?;
+                let deleted = c.u64()?;
+                let mis_flips = c.vertices()?;
+                let len = c.list_len(13)?;
+                let mut match_flips = Vec::with_capacity(len);
+                for _ in 0..len {
+                    match_flips.push(MatchFlip {
+                        slot: c.u32()?,
+                        u: c.u32()?,
+                        v: c.u32()?,
+                        matched: c.boolean()?,
+                    });
+                }
+                Response::Delta(DeltaFrame {
+                    round,
+                    inserted,
+                    deleted,
+                    mis_flips,
+                    match_flips,
+                    truncated: c.boolean()?,
+                })
+            }
+            8 => {
+                let round = c.u64()?;
+                let num_vertices = c.u64()?;
+                let num_edges = c.u64()?;
+                let start = c.u64()?;
+                let mis_words = c.words()?;
+                let partners = c.vertices()?;
+                let last = c.boolean()?;
+                if start % 64 != 0 {
+                    return Err(malformed(format!("chunk start {start} not 64-aligned")));
+                }
+                if mis_words.len() != partners.len().div_ceil(64) {
+                    return Err(malformed(format!(
+                        "chunk carries {} bit words for {} partners",
+                        mis_words.len(),
+                        partners.len()
+                    )));
+                }
+                Response::Snapshot(SnapshotChunk {
+                    round,
+                    num_vertices,
+                    num_edges,
+                    start,
+                    mis_words,
+                    partners,
+                    last,
+                })
+            }
             6 => {
                 let len = c.list_len(1)?;
                 let bytes = c.bytes(len)?;
@@ -394,6 +590,15 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
+    /// A strict boolean byte: anything but 0/1 is malformed.
+    fn boolean(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(malformed(format!("bad bool byte {b}"))),
+        }
+    }
+
     /// Reads a list count and checks `count * elem_size` bytes are actually
     /// present, so a lying count cannot trigger a huge allocation.
     fn list_len(&mut self, elem_size: usize) -> io::Result<usize> {
@@ -413,6 +618,11 @@ impl<'a> Cursor<'a> {
     fn vertices(&mut self) -> io::Result<Vec<u32>> {
         let len = self.list_len(4)?;
         (0..len).map(|_| self.u32()).collect()
+    }
+
+    fn words(&mut self) -> io::Result<Vec<u64>> {
+        let len = self.list_len(8)?;
+        (0..len).map(|_| self.u64()).collect()
     }
 
     fn pairs(&mut self) -> io::Result<Vec<(u32, u32)>> {
@@ -457,6 +667,11 @@ mod tests {
         roundtrip_request(Request::QueryMatched(vec![2]));
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Subscribe { from: 0 });
+        roundtrip_request(Request::Subscribe { from: 41 });
+        roundtrip_request(Request::Subscribe {
+            from: SUBSCRIBE_FRESH,
+        });
     }
 
     #[test]
@@ -468,6 +683,11 @@ mod tests {
             mis_changed: 4,
             matching_changed: 3,
             matching_slots: vec![0, 17, u32::MAX - 1],
+            truncated: false,
+        }));
+        roundtrip_response(Response::Committed(RoundDelta {
+            truncated: true,
+            ..RoundDelta::default()
         }));
         roundtrip_response(Response::Committed(RoundDelta::default()));
         roundtrip_response(Response::MisMembership {
@@ -490,6 +710,98 @@ mod tests {
         }));
         roundtrip_response(Response::ShuttingDown);
         roundtrip_response(Response::Error("nope".into()));
+        roundtrip_response(Response::Delta(DeltaFrame {
+            round: 12,
+            inserted: 40,
+            deleted: 2,
+            mis_flips: vec![0, 3, 900],
+            match_flips: vec![
+                MatchFlip {
+                    slot: 4,
+                    u: 1,
+                    v: 2,
+                    matched: false,
+                },
+                MatchFlip {
+                    slot: 9,
+                    u: 0,
+                    v: 7,
+                    matched: true,
+                },
+            ],
+            truncated: false,
+        }));
+        roundtrip_response(Response::Delta(DeltaFrame::default()));
+        roundtrip_response(Response::Delta(DeltaFrame {
+            truncated: true,
+            ..DeltaFrame::default()
+        }));
+        roundtrip_response(Response::Snapshot(SnapshotChunk {
+            round: 3,
+            num_vertices: 130,
+            num_edges: 12,
+            start: 64,
+            mis_words: vec![0b1011, 0b1],
+            partners: (0..66)
+                .map(|v| if v % 2 == 0 { v + 1 } else { v - 1 })
+                .collect(),
+            last: true,
+        }));
+        roundtrip_response(Response::Snapshot(SnapshotChunk::default()));
+    }
+
+    #[test]
+    fn malformed_subscription_frames_are_rejected() {
+        // Subscribe with a truncated `from`.
+        let mut buf = Request::Subscribe { from: 5 }.encode();
+        buf.truncate(buf.len() - 1);
+        assert!(Request::decode(&buf).is_err());
+        // Subscribe with trailing garbage.
+        let mut buf = Request::Subscribe { from: 5 }.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+
+        // Delta with a non-boolean `matched` byte.
+        let mut buf = Response::Delta(DeltaFrame {
+            match_flips: vec![MatchFlip {
+                slot: 1,
+                u: 2,
+                v: 3,
+                matched: true,
+            }],
+            ..DeltaFrame::default()
+        })
+        .encode();
+        let matched_at = buf.len() - 2; // [matched byte][truncated byte]
+        buf[matched_at] = 7;
+        assert!(Response::decode(&buf).is_err());
+        // Delta with a non-boolean `truncated` byte.
+        let mut buf = Response::Delta(DeltaFrame::default()).encode();
+        let last = buf.len() - 1;
+        buf[last] = 2;
+        assert!(Response::decode(&buf).is_err());
+        // Delta whose match-flip count lies about the bytes present.
+        let mut buf = vec![7u8];
+        buf.extend_from_slice(&1u64.to_le_bytes()); // round
+        buf.extend_from_slice(&0u64.to_le_bytes()); // inserted
+        buf.extend_from_slice(&0u64.to_le_bytes()); // deleted
+        buf.extend_from_slice(&0u32.to_le_bytes()); // mis_flips: empty
+        buf.extend_from_slice(&1000u32.to_le_bytes()); // match_flips: lie
+        buf.push(0);
+        assert!(Response::decode(&buf).is_err());
+
+        // Snapshot chunk with a misaligned start.
+        let mut chunk = SnapshotChunk {
+            start: 32,
+            mis_words: vec![0],
+            partners: vec![u32::MAX; 3],
+            ..SnapshotChunk::default()
+        };
+        assert!(Response::decode(&Response::Snapshot(chunk.clone()).encode()).is_err());
+        // Snapshot chunk whose word count does not cover its partners.
+        chunk.start = 64;
+        chunk.mis_words = vec![0, 0];
+        assert!(Response::decode(&Response::Snapshot(chunk).encode()).is_err());
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Replica reconstruction: folding delta frames and snapshot streams back
+//! into queryable state.
+//!
+//! A subscriber holds a [`ReplicaState`] — the raw MIS bit words and partner
+//! array at some round — and advances it one [`DeltaFrame`] at a time with
+//! [`ReplicaState::fold`]. MIS flips *toggle* membership bits; matching
+//! flips rewrite the endpoints' partner entries, unmatched flips first so a
+//! vertex rematched within the same round ends up with its new partner. The
+//! fold refuses truncated frames and round gaps — the two conditions under
+//! which folding would silently diverge — with a typed [`FoldError`], so the
+//! caller can fall back to a snapshot stream.
+//!
+//! The snapshot side: [`snapshot_chunks`] slices a [`ServerSnapshot`] into
+//! wire chunks and [`SnapshotAssembler`] puts a chunk stream back together,
+//! validating contiguity and bit/entry consistency as it goes. Both
+//! directions exist here so the server's encoder and the client's decoder
+//! are tested against each other in one place.
+
+use std::fmt;
+
+use greedy_engine::prelude::ServerSnapshot;
+
+use crate::protocol::{DeltaFrame, SnapshotChunk, SNAPSHOT_CHUNK_VERTICES};
+
+/// Why a delta frame could not be folded into a replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoldError {
+    /// The frame's flip lists were cut at the wire caps; folding it would
+    /// drop flips silently. The subscriber must resync from a snapshot.
+    Truncated,
+    /// The frame does not advance the replica by exactly one round.
+    RoundGap {
+        /// The round the replica expected to fold next.
+        expected: u64,
+        /// The round the frame carried.
+        got: u64,
+    },
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::Truncated => write!(f, "refusing to fold a truncated delta"),
+            FoldError::RoundGap { expected, got } => {
+                write!(
+                    f,
+                    "delta for round {got} cannot advance a replica expecting {expected}"
+                )
+            }
+        }
+    }
+}
+
+/// A subscriber's reconstructed state: the MIS bitset and partner array as
+/// of `round`, advanced purely by folding deltas (and reseeded by snapshot
+/// streams).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaState {
+    round: u64,
+    num_edges: u64,
+    num_vertices: usize,
+    mis_words: Vec<u64>,
+    partners: Vec<u32>,
+}
+
+impl ReplicaState {
+    /// A replica seeded from a full snapshot at `round`.
+    pub fn from_snapshot(round: u64, state: &ServerSnapshot) -> Self {
+        Self {
+            round,
+            num_edges: state.num_edges() as u64,
+            num_vertices: state.num_vertices(),
+            mis_words: state.mis_words_vec(),
+            partners: state.partners_vec(),
+        }
+    }
+
+    /// Round of the state currently held.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Vertices in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Edges present at this round.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Advances the replica by exactly one round. On any error the replica
+    /// is untouched and the caller must resync from a snapshot.
+    pub fn fold(&mut self, frame: &DeltaFrame) -> Result<(), FoldError> {
+        if frame.truncated {
+            return Err(FoldError::Truncated);
+        }
+        if frame.round != self.round + 1 {
+            return Err(FoldError::RoundGap {
+                expected: self.round + 1,
+                got: frame.round,
+            });
+        }
+        for &v in &frame.mis_flips {
+            self.mis_words[v as usize / 64] ^= 1u64 << (v % 64);
+        }
+        // Unmatched flips first: a vertex that lost one partner and gained
+        // another within the round must end on the new one. The clear is
+        // conditional so an already-rewritten entry is never clobbered.
+        for f in frame.match_flips.iter().filter(|f| !f.matched) {
+            if self.partners[f.u as usize] == f.v {
+                self.partners[f.u as usize] = u32::MAX;
+            }
+            if self.partners[f.v as usize] == f.u {
+                self.partners[f.v as usize] = u32::MAX;
+            }
+        }
+        for f in frame.match_flips.iter().filter(|f| f.matched) {
+            self.partners[f.u as usize] = f.v;
+            self.partners[f.v as usize] = f.u;
+        }
+        self.num_edges = self.num_edges + frame.inserted - frame.deleted;
+        self.round = frame.round;
+        Ok(())
+    }
+
+    /// Materializes the replica as a [`ServerSnapshot`], byte-comparable to
+    /// the snapshots the server publishes.
+    pub fn to_snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot::from_parts(self.num_edges as usize, &self.mis_words, &self.partners)
+    }
+}
+
+/// Slices a snapshot into the chunk stream [`crate::protocol`] carries: one
+/// [`SnapshotChunk`] per [`SNAPSHOT_CHUNK_VERTICES`] vertices, in ascending
+/// order, the final chunk flagged `last`. An empty graph still yields one
+/// (empty, `last`) chunk so the stream's end is always explicit.
+pub fn snapshot_chunks(round: u64, state: &ServerSnapshot) -> Vec<SnapshotChunk> {
+    let n = state.num_vertices();
+    let words = state.mis_words_vec();
+    let partners = state.partners_vec();
+    let mut chunks = Vec::with_capacity(n.div_ceil(SNAPSHOT_CHUNK_VERTICES).max(1));
+    let mut start = 0usize;
+    loop {
+        let end = (start + SNAPSHOT_CHUNK_VERTICES).min(n);
+        let last = end == n;
+        chunks.push(SnapshotChunk {
+            round,
+            num_vertices: n as u64,
+            num_edges: state.num_edges() as u64,
+            start: start as u64,
+            mis_words: words[start / 64..end.div_ceil(64)].to_vec(),
+            partners: partners[start..end].to_vec(),
+            last,
+        });
+        if last {
+            return chunks;
+        }
+        start = end;
+    }
+}
+
+/// Reassembles a chunk stream into a [`ReplicaState`], validating as it
+/// goes: chunks must arrive contiguously from vertex 0, agree on their
+/// headers, and cover every vertex exactly once. Any violation is an
+/// unrecoverable protocol error (string diagnostic) — the stream cannot be
+/// resynchronized mid-flight.
+#[derive(Debug, Default)]
+pub struct SnapshotAssembler {
+    header: Option<(u64, u64, u64)>,
+    mis_words: Vec<u64>,
+    partners: Vec<u32>,
+}
+
+impl SnapshotAssembler {
+    /// An assembler awaiting a stream's first chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the next chunk. `Ok(Some(state))` when this was the final chunk
+    /// of a complete stream; `Ok(None)` when more chunks are expected.
+    pub fn push(&mut self, chunk: SnapshotChunk) -> Result<Option<ReplicaState>, String> {
+        match self.header {
+            None => self.header = Some((chunk.round, chunk.num_vertices, chunk.num_edges)),
+            Some(h) => {
+                if h != (chunk.round, chunk.num_vertices, chunk.num_edges) {
+                    return Err("snapshot chunks disagree on their headers".into());
+                }
+            }
+        }
+        if chunk.start != self.partners.len() as u64 {
+            return Err(format!(
+                "snapshot chunk starts at {} but {} vertices are assembled",
+                chunk.start,
+                self.partners.len()
+            ));
+        }
+        let covered = self.partners.len() + chunk.partners.len();
+        if (covered as u64) > chunk.num_vertices {
+            return Err(format!(
+                "snapshot chunks cover {covered} of {} vertices",
+                chunk.num_vertices
+            ));
+        }
+        if !chunk.last && !covered.is_multiple_of(64) {
+            return Err("non-final snapshot chunk ends mid bit word".into());
+        }
+        self.mis_words.extend_from_slice(&chunk.mis_words);
+        self.partners.extend_from_slice(&chunk.partners);
+        if !chunk.last {
+            return Ok(None);
+        }
+        let n = chunk.num_vertices as usize;
+        if self.partners.len() != n {
+            return Err(format!(
+                "final snapshot chunk leaves {} of {n} vertices covered",
+                self.partners.len()
+            ));
+        }
+        // Padding bits past the last vertex must be zero, or the replica's
+        // bytes could never match the server's.
+        if !n.is_multiple_of(64) && self.mis_words.last().is_some_and(|&w| w >> (n % 64) != 0) {
+            return Err("snapshot stream has nonzero padding bits".into());
+        }
+        Ok(Some(ReplicaState {
+            round: chunk.round,
+            num_edges: chunk.num_edges,
+            num_vertices: n,
+            mis_words: std::mem::take(&mut self.mis_words),
+            partners: std::mem::take(&mut self.partners),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MatchFlip;
+    use greedy_engine::prelude::{EdgeBatch, Engine};
+
+    fn replica_of(engine: &Engine, round: u64) -> ReplicaState {
+        ReplicaState::from_snapshot(round, &engine.server_snapshot())
+    }
+
+    #[test]
+    fn fold_tracks_the_engine_round_by_round() {
+        let mut engine = Engine::new(200, 3);
+        let mut replica = replica_of(&engine, 0);
+        for round in 1..=6u64 {
+            let mut batch = EdgeBatch::new();
+            for i in 0..20u64 {
+                let a = ((round * 37 + i * 11) % 200) as u32;
+                let b = ((round * 53 + i * 29) % 200) as u32;
+                batch.insert(a, b);
+            }
+            if round % 2 == 0 {
+                if let Some(e) = engine.matching().first().copied() {
+                    batch.delete(e.u, e.v);
+                }
+            }
+            let report = engine.apply_batch(&batch);
+            let frame = crate::feed::FullDelta::from_report(round, &report).to_wire();
+            assert!(!frame.truncated);
+            replica.fold(&frame).unwrap();
+            assert_eq!(
+                replica.to_snapshot(),
+                engine.server_snapshot(),
+                "replica diverged at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_refuses_truncated_and_gapped_frames() {
+        let engine = Engine::new(10, 1);
+        let mut replica = replica_of(&engine, 4);
+        let frame = DeltaFrame {
+            round: 5,
+            truncated: true,
+            ..DeltaFrame::default()
+        };
+        assert_eq!(replica.fold(&frame), Err(FoldError::Truncated));
+        let frame = DeltaFrame {
+            round: 7,
+            ..DeltaFrame::default()
+        };
+        assert_eq!(
+            replica.fold(&frame),
+            Err(FoldError::RoundGap {
+                expected: 5,
+                got: 7
+            })
+        );
+        assert_eq!(replica.round(), 4, "failed folds must not advance");
+    }
+
+    #[test]
+    fn rematch_within_one_round_lands_on_the_new_partner() {
+        let engine = Engine::new(8, 2);
+        let mut replica = replica_of(&engine, 0);
+        // Round 1: match (1, 2).
+        replica
+            .fold(&DeltaFrame {
+                round: 1,
+                inserted: 1,
+                match_flips: vec![MatchFlip {
+                    slot: 0,
+                    u: 1,
+                    v: 2,
+                    matched: true,
+                }],
+                ..DeltaFrame::default()
+            })
+            .unwrap();
+        // Round 2: (1, 2) unmatches, (1, 3) and (2, 4) match — every
+        // endpoint must end on its *new* partner despite the shared clear.
+        replica
+            .fold(&DeltaFrame {
+                round: 2,
+                inserted: 2,
+                match_flips: vec![
+                    MatchFlip {
+                        slot: 0,
+                        u: 1,
+                        v: 2,
+                        matched: false,
+                    },
+                    MatchFlip {
+                        slot: 1,
+                        u: 1,
+                        v: 3,
+                        matched: true,
+                    },
+                    MatchFlip {
+                        slot: 2,
+                        u: 2,
+                        v: 4,
+                        matched: true,
+                    },
+                ],
+                ..DeltaFrame::default()
+            })
+            .unwrap();
+        let snap = replica.to_snapshot();
+        assert_eq!(snap.partner_of(1), Some(3));
+        assert_eq!(snap.partner_of(2), Some(4));
+        assert_eq!(snap.partner_of(3), Some(1));
+        assert_eq!(snap.partner_of(4), Some(2));
+    }
+
+    #[test]
+    fn chunk_streams_roundtrip_snapshots() {
+        let mut engine = Engine::new(1_000, 9);
+        let mut batch = EdgeBatch::new();
+        for i in 0..400u32 {
+            batch.insert(i % 997, (i * 7 + 3) % 997);
+        }
+        engine.apply_batch(&batch);
+        let snapshot = engine.server_snapshot();
+        let chunks = snapshot_chunks(12, &snapshot);
+        assert!(chunks.last().unwrap().last);
+        let mut assembler = SnapshotAssembler::new();
+        let mut state = None;
+        for chunk in chunks {
+            assert!(state.is_none(), "chunks after the final one");
+            state = assembler.push(chunk).unwrap();
+        }
+        let state = state.expect("stream must complete");
+        assert_eq!(state.round(), 12);
+        assert_eq!(state.to_snapshot(), snapshot);
+    }
+
+    #[test]
+    fn empty_graph_still_streams_one_final_chunk() {
+        let empty = ServerSnapshot::from_parts(0, &[], &[]);
+        let chunks = snapshot_chunks(0, &empty);
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].last);
+        let mut assembler = SnapshotAssembler::new();
+        let state = assembler.push(chunks[0].clone()).unwrap().unwrap();
+        assert_eq!(state.num_vertices(), 0);
+    }
+
+    #[test]
+    fn assembler_rejects_broken_streams() {
+        let engine = Engine::new(300, 4);
+        let snapshot = engine.server_snapshot();
+        let good = snapshot_chunks(1, &snapshot).remove(0);
+
+        // Out-of-order start.
+        let mut bad = good.clone();
+        bad.start = 64;
+        assert!(SnapshotAssembler::new().push(bad).is_err());
+        // Header disagreement across chunks.
+        let mut first = good.clone();
+        first.last = false;
+        first.partners.truncate(64);
+        first.mis_words.truncate(1);
+        let mut second = good.clone();
+        second.start = 64;
+        second.num_edges = 99;
+        second.partners.drain(..64);
+        second.mis_words.drain(..1);
+        let mut asm = SnapshotAssembler::new();
+        assert!(asm.push(first).unwrap().is_none());
+        assert!(asm.push(second).is_err());
+        // Incomplete coverage on the final chunk.
+        let mut short = good.clone();
+        short.partners.pop();
+        assert!(SnapshotAssembler::new().push(short).is_err());
+        // Nonzero padding bits.
+        let mut dirty = good.clone();
+        *dirty.mis_words.last_mut().unwrap() |= 1u64 << 63;
+        assert!(SnapshotAssembler::new().push(dirty).is_err());
+    }
+}

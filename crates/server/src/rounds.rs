@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use greedy_engine::prelude::{EdgeBatch, Engine};
 use greedy_graph::edge_list::Edge;
 
+use crate::feed::{DeltaFeed, FullDelta};
 use crate::protocol::RoundDelta;
 use crate::snapshot::{PublishedSnapshot, SnapshotCell};
 
@@ -71,6 +72,24 @@ pub struct CommittedRound {
     pub deletions: Vec<Edge>,
     /// The snapshot published for this round.
     pub snapshot: std::sync::Arc<PublishedSnapshot>,
+    /// The round's exact, uncapped delta (the same `Arc` the feed's ring
+    /// holds) — what the replay tests fold over round 0 to re-derive every
+    /// published snapshot.
+    pub delta: std::sync::Arc<FullDelta>,
+}
+
+/// Where the engine thread delivers each committed round. Bundled so
+/// [`RoundScheduler::drive`] publishes all sinks at one point in the commit
+/// sequence: snapshot first (queries see the round before its delta is
+/// offered to subscribers), then the recorder, then the feed.
+pub struct CommitSinks<'a> {
+    /// The swap-published snapshot slot queries read.
+    pub cell: &'a SnapshotCell,
+    /// Coherence-audit recorder ([`crate::serve::ServerConfig::record_rounds`]).
+    pub record: Option<&'a Mutex<Vec<CommittedRound>>>,
+    /// Subscriber hub + replay ring; `None` in tests that only exercise the
+    /// scheduler.
+    pub feed: Option<&'a DeltaFeed>,
 }
 
 /// Per-round rendezvous between the engine thread and the writers waiting on
@@ -222,19 +241,11 @@ impl RoundScheduler {
     }
 
     /// The engine thread's body: waits for rounds to fill (or time out, or
-    /// shutdown), applies each as one batch, publishes the round's snapshot
-    /// into `cell`, and wakes the round's writers. Returns the engine once
-    /// shutdown has drained the staging buffer, so the caller can inspect
-    /// final state.
-    ///
-    /// When `record` is given, every committed round is appended to it —
-    /// the coherence-audit mode tests and `serve_load --verify` use.
-    pub fn drive(
-        &self,
-        mut engine: Engine,
-        cell: &SnapshotCell,
-        record: Option<&Mutex<Vec<CommittedRound>>>,
-    ) -> Engine {
+    /// shutdown), applies each as one batch, publishes the round into every
+    /// sink, and wakes the round's writers. Returns the engine once shutdown
+    /// has drained the staging buffer, so the caller can inspect final
+    /// state.
+    pub fn drive(&self, mut engine: Engine, sinks: CommitSinks<'_>) -> Engine {
         loop {
             let (insertions, deletions, round) = {
                 let mut s = self.state.lock().expect("scheduler poisoned");
@@ -280,13 +291,16 @@ impl RoundScheduler {
                 deletions,
             };
             let report = engine.apply_batch(&batch);
+            // `server_snapshot` is copy-on-write: its cost is the pages the
+            // round touched, not O(n) — cheap enough to take every round.
             let snapshot = std::sync::Arc::new(PublishedSnapshot {
                 round,
                 state: engine.server_snapshot(),
                 stats: *engine.stats(),
             });
-            cell.publish_arc(snapshot.clone());
-            if let Some(rec) = record {
+            sinks.cell.publish_arc(snapshot.clone());
+            let full = std::sync::Arc::new(FullDelta::from_report(round, &report));
+            if let Some(rec) = sinks.record {
                 rec.lock()
                     .expect("round record poisoned")
                     .push(CommittedRound {
@@ -294,9 +308,14 @@ impl RoundScheduler {
                         insertions: batch.insertions,
                         deletions: batch.deletions,
                         snapshot,
+                        delta: full.clone(),
                     });
             }
+            if let Some(feed) = sinks.feed {
+                feed.publish(full);
+            }
 
+            let truncated = report.matching_changed.len() > crate::protocol::MAX_DELTA_SLOTS;
             let delta = std::sync::Arc::new(RoundDelta {
                 round,
                 inserted: report.edges_inserted as u64,
@@ -306,13 +325,14 @@ impl RoundScheduler {
                 // Stable slot ids of the flipped edges — already sorted by
                 // slot in the engine's report; truncated so the commit
                 // acknowledgment always fits a protocol frame (the count
-                // above stays exact).
+                // above stays exact, and `truncated` says so explicitly).
                 matching_slots: report
                     .matching_changed
                     .iter()
                     .take(crate::protocol::MAX_DELTA_SLOTS)
                     .map(|d| d.slot)
                     .collect(),
+                truncated,
             });
             let mut s = self.state.lock().expect("scheduler poisoned");
             s.committed_round = round;
@@ -343,7 +363,16 @@ mod tests {
         let engine = Engine::new(n, seed);
         let scheduler = scheduler.clone();
         let cell = cell.clone();
-        thread::spawn(move || scheduler.drive(engine, &cell, None))
+        thread::spawn(move || {
+            scheduler.drive(
+                engine,
+                CommitSinks {
+                    cell: &cell,
+                    record: None,
+                    feed: None,
+                },
+            )
+        })
     }
 
     fn fresh_cell(n: usize, seed: u64) -> Arc<SnapshotCell> {

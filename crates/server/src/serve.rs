@@ -26,25 +26,43 @@ use std::time::Duration;
 use greedy_engine::prelude::Engine;
 use greedy_graph::edge_list::Edge;
 
+use crate::feed::{DeltaFeed, FullDelta};
 use crate::protocol::{read_frame, write_frame, Request, Response, StatsReply};
-use crate::rounds::{CommittedRound, RoundConfig, RoundScheduler};
+use crate::replica::{snapshot_chunks, ReplicaState, SnapshotAssembler};
+use crate::rounds::{CommitSinks, CommittedRound, RoundConfig, RoundScheduler};
 use crate::snapshot::{PublishedSnapshot, SnapshotCell};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Round flush policy (see [`RoundConfig`]).
     pub rounds: RoundConfig,
-    /// Record every committed round (exact batch + published snapshot) for
-    /// post-hoc coherence audits. Costs one batch clone per round — meant
-    /// for tests and verification runs, not production serving.
+    /// Record every committed round (exact batch + published snapshot +
+    /// exact delta) for post-hoc coherence audits. Costs one batch clone per
+    /// round — meant for tests and verification runs, not production
+    /// serving.
     pub record_rounds: bool,
+    /// Committed-round deltas retained in the subscriber replay ring: a
+    /// subscriber reconnecting with a base at most this many rounds old is
+    /// caught up by replay instead of a full snapshot stream.
+    pub delta_ring: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            rounds: RoundConfig::default(),
+            record_rounds: false,
+            delta_ring: 64,
+        }
+    }
 }
 
 /// Everything a connection thread needs, shared behind one `Arc`.
 struct Shared {
     scheduler: RoundScheduler,
     cell: SnapshotCell,
+    feed: DeltaFeed,
     stop: AtomicBool,
     addr: SocketAddr,
     num_vertices: usize,
@@ -124,6 +142,11 @@ impl ServerHandle {
             .engine_thread
             .take()
             .map(|h| h.join().expect("engine thread panicked"));
+        // Close the feed only *after* the engine thread is gone: every
+        // committed round's delta is already queued, and queued messages
+        // survive the senders being dropped, so subscribers flush the full
+        // stream before their workers see the disconnect and exit.
+        self.shared.feed.close();
         if let Some(h) = self.accept_thread.take() {
             h.join().expect("accept thread panicked");
         }
@@ -181,6 +204,7 @@ pub fn serve_on<A: ToSocketAddrs>(
             state: engine.server_snapshot(),
             stats: *engine.stats(),
         }),
+        feed: DeltaFeed::new(config.delta_ring),
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
         num_vertices: engine.num_vertices(),
@@ -195,9 +219,14 @@ pub fn serve_on<A: ToSocketAddrs>(
         thread::Builder::new()
             .name("greedy-server-engine".into())
             .spawn(move || {
-                shared
-                    .scheduler
-                    .drive(engine, &shared.cell, shared.record.as_ref())
+                shared.scheduler.drive(
+                    engine,
+                    CommitSinks {
+                        cell: &shared.cell,
+                        record: shared.record.as_ref(),
+                        feed: Some(&shared.feed),
+                    },
+                )
             })?
     };
     let accept_thread = {
@@ -356,6 +385,12 @@ fn connection_loop(stream: &TcpStream, shared: &Shared) {
                 return;
             }
         };
+        if let Request::Subscribe { from } = request {
+            // The connection switches to push-only: the subscriber loop owns
+            // the writer until the client disconnects or the feed closes.
+            run_subscriber(from, &mut writer, shared);
+            return;
+        }
         let is_shutdown = matches!(request, Request::Shutdown);
         let response = dispatch(request, shared);
         if send(&mut writer, &response).is_err() {
@@ -366,6 +401,104 @@ fn connection_loop(stream: &TcpStream, shared: &Shared) {
             return;
         }
     }
+}
+
+/// Serves a subscribed connection: replays the ring backlog (or streams a
+/// full snapshot when the subscriber is fresh or too far behind), then
+/// forwards one [`Response::Delta`] per committed round until the client
+/// disconnects or the feed closes at shutdown.
+///
+/// Liveness rules: the commit path only ever `try_send`s to this worker's
+/// channel, so a subscriber stalled mid-write can never slow a round down —
+/// its channel overflows, the feed flags it lagging, and this loop resyncs
+/// it from the latest snapshot once it drains. A subscriber that went away
+/// entirely fails its next write here (bounded by [`WRITE_TIMEOUT`]) and the
+/// feed prunes its channel on the following publish.
+fn run_subscriber(from: u64, writer: &mut BufWriter<TcpStream>, shared: &Shared) {
+    let sub = match shared.feed.subscribe_from(from) {
+        Some(sub) => sub,
+        None => {
+            let _ = send(writer, &Response::Error("server is shutting down".into()));
+            return;
+        }
+    };
+    // Round of the state the subscriber currently holds. `SUBSCRIBE_FRESH`
+    // never reaches a forward: a fresh subscriber has no backlog, so the
+    // snapshot branch below overwrites `last` before the first delta.
+    let mut last = from;
+    let mut need_snapshot = false;
+    match &sub.backlog {
+        Some(deltas) => {
+            for delta in deltas {
+                match forward_delta(writer, delta, &mut last) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        need_snapshot = true;
+                        break;
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+        None => need_snapshot = true,
+    }
+    loop {
+        if need_snapshot {
+            // Clear the lag flag *before* loading the snapshot: a flag set
+            // after this point refers to a round the snapshot may predate,
+            // so it must survive into the next iteration and resync again.
+            sub.lagging.store(false, Ordering::SeqCst);
+            let snap = shared.cell.load();
+            for chunk in snapshot_chunks(snap.round, &snap.state) {
+                if send(writer, &Response::Snapshot(chunk)).is_err() {
+                    return;
+                }
+            }
+            last = snap.round;
+            need_snapshot = false;
+        }
+        let delta = match sub.receiver.recv() {
+            // Feed closed at shutdown; every queued delta was drained first.
+            Ok(d) => d,
+            Err(_) => return,
+        };
+        if sub.lagging.swap(false, Ordering::SeqCst) {
+            // The channel overflowed, so deltas were dropped somewhere at or
+            // after this one: resync rather than hunt for the gap.
+            need_snapshot = true;
+            continue;
+        }
+        if delta.round <= last {
+            // Stale leftovers from before a resync.
+            continue;
+        }
+        match forward_delta(writer, &delta, &mut last) {
+            Ok(true) => {}
+            Ok(false) => need_snapshot = true,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Forwards one delta if it contiguously advances `last` and fits a wire
+/// frame untruncated. `Ok(false)` means it cannot be forwarded (round gap,
+/// or flip lists over the wire caps) and the caller must resync the
+/// subscriber from a snapshot; `Err` means the connection is gone.
+fn forward_delta(
+    writer: &mut BufWriter<TcpStream>,
+    delta: &FullDelta,
+    last: &mut u64,
+) -> io::Result<bool> {
+    if delta.round != *last + 1 {
+        return Ok(false);
+    }
+    let frame = delta.to_wire();
+    if frame.truncated {
+        return Ok(false);
+    }
+    send(writer, &Response::Delta(frame))?;
+    *last = delta.round;
+    Ok(true)
 }
 
 fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()> {
@@ -414,6 +547,11 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
             })
         }
         Request::Shutdown => Response::ShuttingDown,
+        // Handled by the connection loop before dispatch (it hijacks the
+        // writer); kept here only for match exhaustiveness.
+        Request::Subscribe { .. } => {
+            Response::Error("subscribe must start a push connection".into())
+        }
     }
 }
 
@@ -568,4 +706,101 @@ impl Client {
             other => Err(Self::unexpected(other)),
         }
     }
+
+    /// Turns this connection into a push-style subscription with no base
+    /// state: the server streams a full snapshot, then one delta per
+    /// committed round. Consumes the client — a subscribed connection
+    /// carries no further requests.
+    pub fn subscribe_fresh(self) -> io::Result<Subscriber> {
+        self.subscribe(crate::protocol::SUBSCRIBE_FRESH, None)
+    }
+
+    /// Subscribes with `base` as the state already held: the server replays
+    /// the missing rounds from its delta ring when they are still buffered,
+    /// and falls back to a full snapshot stream when the base is too far
+    /// behind.
+    pub fn subscribe_from(self, base: ReplicaState) -> io::Result<Subscriber> {
+        let from = base.round();
+        self.subscribe(from, Some(base))
+    }
+
+    fn subscribe(mut self, from: u64, replica: Option<ReplicaState>) -> io::Result<Subscriber> {
+        write_frame(&mut self.writer, &Request::Subscribe { from }.encode())?;
+        self.writer.flush()?;
+        Ok(Subscriber {
+            reader: self.reader,
+            replica,
+            resyncs: 0,
+        })
+    }
+}
+
+/// The receiving end of a subscribed connection: folds the server's pushed
+/// delta frames (and, on resync, snapshot chunk streams) into a
+/// [`ReplicaState`] that tracks the published state round by round.
+pub struct Subscriber {
+    reader: BufReader<TcpStream>,
+    replica: Option<ReplicaState>,
+    resyncs: u64,
+}
+
+impl Subscriber {
+    /// The reconstructed state, once the first delta or snapshot arrived.
+    pub fn state(&self) -> Option<&ReplicaState> {
+        self.replica.as_ref()
+    }
+
+    /// Full-snapshot resyncs absorbed so far (0 for a subscriber that only
+    /// ever folded deltas).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Bounds how long [`Subscriber::next_round`] may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Blocks until the replica advances — one folded delta, or a completed
+    /// snapshot stream (counted in [`Subscriber::resyncs`]). `Ok(None)`
+    /// means the server closed the feed (shutdown) after delivering every
+    /// committed round. A truncated delta or a round gap is a protocol
+    /// violation here — the server resyncs instead of sending either — and
+    /// fails with `InvalidData` rather than silently diverging.
+    pub fn next_round(&mut self) -> io::Result<Option<&ReplicaState>> {
+        let mut assembler: Option<SnapshotAssembler> = None;
+        loop {
+            let payload = match read_frame(&mut self.reader)? {
+                Some(p) => p,
+                None => return Ok(None),
+            };
+            match Response::decode(&payload)? {
+                Response::Delta(frame) => {
+                    if assembler.is_some() {
+                        return Err(invalid("delta frame inside a snapshot stream"));
+                    }
+                    let replica = self
+                        .replica
+                        .as_mut()
+                        .ok_or_else(|| invalid("delta frame before any snapshot"))?;
+                    replica.fold(&frame).map_err(|e| invalid(e.to_string()))?;
+                    return Ok(self.replica.as_ref());
+                }
+                Response::Snapshot(chunk) => {
+                    let asm = assembler.get_or_insert_with(SnapshotAssembler::new);
+                    if let Some(state) = asm.push(chunk).map_err(invalid)? {
+                        self.replica = Some(state);
+                        self.resyncs += 1;
+                        return Ok(self.replica.as_ref());
+                    }
+                }
+                Response::Error(msg) => return Err(io::Error::other(msg)),
+                other => return Err(invalid(format!("unexpected response {other:?}"))),
+            }
+        }
+    }
+}
+
+fn invalid<S: Into<String>>(msg: S) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }

@@ -1,0 +1,353 @@
+//! Structured-mutation battery over the wire protocol: every malformed
+//! frame — truncated, oversized, garbage, byte-flipped, count-lying — must
+//! decode to an error (and, over a socket, an `Error` response + close),
+//! never a panic or an attacker-sized allocation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use greedy_engine::prelude::Engine;
+use greedy_server::prelude::*;
+use greedy_server::protocol::{
+    read_frame, MAX_DELTA_MATCH_FLIPS, MAX_DELTA_MIS_FLIPS, MAX_DELTA_SLOTS, MAX_FRAME_LEN,
+    SUBSCRIBE_FRESH,
+};
+
+/// Every request variant, encoded.
+fn request_corpus() -> Vec<Vec<u8>> {
+    [
+        Request::InsertEdges(vec![(0, 1), (5, 9)]),
+        Request::DeleteEdges(vec![(2, 3)]),
+        Request::QueryMis(vec![0, 1, 2]),
+        Request::QueryMatched(vec![7]),
+        Request::Stats,
+        Request::Shutdown,
+        Request::Subscribe { from: 3 },
+        Request::Subscribe {
+            from: SUBSCRIBE_FRESH,
+        },
+    ]
+    .iter()
+    .map(Request::encode)
+    .collect()
+}
+
+/// Every response variant, encoded — including the new push-path frames.
+fn response_corpus() -> Vec<Vec<u8>> {
+    [
+        Response::Committed(RoundDelta {
+            round: 3,
+            inserted: 2,
+            deleted: 1,
+            mis_changed: 4,
+            matching_changed: 2,
+            matching_slots: vec![0, 9],
+            truncated: false,
+        }),
+        Response::MisMembership {
+            round: 1,
+            in_mis: vec![true, false],
+        },
+        Response::Matched {
+            round: 2,
+            partners: vec![u32::MAX, 3],
+        },
+        Response::Stats(StatsReply::default()),
+        Response::ShuttingDown,
+        Response::Delta(DeltaFrame {
+            round: 5,
+            inserted: 1,
+            deleted: 0,
+            mis_flips: vec![1, 8],
+            match_flips: vec![MatchFlip {
+                slot: 2,
+                u: 1,
+                v: 8,
+                matched: true,
+            }],
+            truncated: false,
+        }),
+        Response::Snapshot(SnapshotChunk {
+            round: 5,
+            num_vertices: 70,
+            num_edges: 3,
+            start: 0,
+            mis_words: vec![0b101, 0b11],
+            partners: vec![u32::MAX; 70],
+            last: true,
+        }),
+        Response::Error("boom".into()),
+    ]
+    .iter()
+    .map(Response::encode)
+    .collect()
+}
+
+/// No strict prefix of a valid payload may decode: every message must be
+/// consumed exactly, so truncation at *any* byte is detected.
+#[test]
+fn every_truncation_is_rejected() {
+    for payload in request_corpus() {
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "request prefix of {cut}/{} bytes decoded",
+                payload.len()
+            );
+        }
+        assert!(Request::decode(&payload).is_ok());
+    }
+    for payload in response_corpus() {
+        for cut in 0..payload.len() {
+            assert!(
+                Response::decode(&payload[..cut]).is_err(),
+                "response prefix of {cut}/{} bytes decoded",
+                payload.len()
+            );
+        }
+        assert!(Response::decode(&payload).is_ok());
+    }
+}
+
+/// Trailing bytes after a complete message are rejected, whatever they are.
+#[test]
+fn trailing_bytes_are_rejected() {
+    for payload in request_corpus() {
+        for extra in [0u8, 1, 0xFF] {
+            let mut long = payload.clone();
+            long.push(extra);
+            assert!(Request::decode(&long).is_err());
+        }
+    }
+    for payload in response_corpus() {
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(Response::decode(&long).is_err());
+    }
+}
+
+/// Single-byte mutations at every position: decoding must never panic.
+/// (A mutation may still decode — flipping a vertex id yields a different
+/// valid message — the property is robustness, not rejection.)
+#[test]
+fn byte_flips_never_panic() {
+    for payload in request_corpus() {
+        for pos in 0..payload.len() {
+            for val in [0u8, 1, 0x7F, 0xFF, payload[pos].wrapping_add(1)] {
+                let mut mutated = payload.clone();
+                mutated[pos] = val;
+                let _ = Request::decode(&mutated);
+                let _ = Response::decode(&mutated);
+            }
+        }
+    }
+    for payload in response_corpus() {
+        for pos in 0..payload.len() {
+            for val in [0u8, 0xFF, payload[pos].wrapping_add(1)] {
+                let mut mutated = payload.clone();
+                mutated[pos] = val;
+                let _ = Response::decode(&mutated);
+                let _ = Request::decode(&mutated);
+            }
+        }
+    }
+}
+
+/// A list count that promises more elements than the payload holds must be
+/// rejected *before* allocation — a u32::MAX count in a 20-byte payload
+/// would otherwise reserve gigabytes. Exercised for every list-bearing
+/// field of every frame kind, including the new delta/snapshot lists.
+#[test]
+fn lying_list_counts_do_not_allocate() {
+    // Request lists: InsertEdges pairs, QueryMis vertices.
+    for tag in [1u8, 2, 3, 4] {
+        let mut buf = vec![tag];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&buf).is_err());
+    }
+    // Committed.matching_slots.
+    let mut buf = vec![1u8];
+    buf.extend_from_slice(&[0u8; 40]); // round..matching_changed
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::decode(&buf).is_err());
+    // Delta.mis_flips and Delta.match_flips.
+    let mut buf = vec![7u8];
+    buf.extend_from_slice(&[0u8; 24]); // round, inserted, deleted
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::decode(&buf).is_err());
+    let mut buf = vec![7u8];
+    buf.extend_from_slice(&[0u8; 24]);
+    buf.extend_from_slice(&0u32.to_le_bytes()); // empty mis_flips
+    buf.extend_from_slice(&u32::MAX.to_le_bytes()); // lying match_flips
+    assert!(Response::decode(&buf).is_err());
+    // Snapshot.mis_words and Snapshot.partners.
+    let mut buf = vec![8u8];
+    buf.extend_from_slice(&[0u8; 32]); // round..start
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::decode(&buf).is_err());
+    let mut buf = vec![8u8];
+    buf.extend_from_slice(&[0u8; 32]);
+    buf.extend_from_slice(&0u32.to_le_bytes()); // empty words
+    buf.extend_from_slice(&u32::MAX.to_le_bytes()); // lying partners
+    assert!(Response::decode(&buf).is_err());
+    // Error message length.
+    let mut buf = vec![6u8];
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::decode(&buf).is_err());
+}
+
+/// Deterministic garbage: random payloads must never panic the decoders.
+#[test]
+fn random_garbage_never_panics() {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..2_000 {
+        let len = (next() % 64 + 1) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        let _ = Request::decode(&payload);
+        let _ = Response::decode(&payload);
+    }
+}
+
+/// The cap boundary (the capped-delta footgun): at exactly the cap nothing
+/// is truncated and the frame fits; one past the cap the wire encoding is
+/// flagged truncated, and a replica refuses to fold it.
+#[test]
+fn caps_bind_exactly_at_the_boundary() {
+    // A commit acknowledgment at exactly MAX_DELTA_SLOTS fits a frame.
+    let full = Response::Committed(RoundDelta {
+        round: 1,
+        matching_changed: MAX_DELTA_SLOTS as u64,
+        matching_slots: (0..MAX_DELTA_SLOTS as u32).collect(),
+        truncated: false,
+        ..RoundDelta::default()
+    });
+    let payload = full.encode();
+    assert!(payload.len() as u32 <= MAX_FRAME_LEN);
+    assert_eq!(Response::decode(&payload).unwrap(), full);
+
+    // A delta at exactly both wire caps is not truncated and fits a frame.
+    let at_cap = FullDelta {
+        round: 1,
+        inserted: 0,
+        deleted: 0,
+        mis_flips: (0..MAX_DELTA_MIS_FLIPS as u32).collect(),
+        match_flips: (0..MAX_DELTA_MATCH_FLIPS as u32)
+            .map(|i| MatchFlip {
+                slot: i,
+                u: i,
+                v: i + 1,
+                matched: true,
+            })
+            .collect(),
+    };
+    let frame = at_cap.to_wire();
+    assert!(!frame.truncated, "exactly at the cap must not truncate");
+    let payload = Response::Delta(frame).encode();
+    assert!(
+        payload.len() as u32 <= MAX_FRAME_LEN,
+        "a maximal untruncated delta must fit the frame cap, got {} bytes",
+        payload.len()
+    );
+
+    // One past either cap: truncated on the wire, refused by the replica.
+    for (extra_mis, extra_match) in [(1usize, 0usize), (0, 1)] {
+        let over = FullDelta {
+            mis_flips: (0..(MAX_DELTA_MIS_FLIPS + extra_mis) as u32).collect(),
+            match_flips: (0..(MAX_DELTA_MATCH_FLIPS + extra_match) as u32)
+                .map(|i| MatchFlip {
+                    slot: i,
+                    u: 0,
+                    v: 1,
+                    matched: true,
+                })
+                .collect(),
+            ..at_cap.clone()
+        };
+        let frame = over.to_wire();
+        assert!(frame.truncated, "past the cap must truncate");
+        let empty = greedy_engine::prelude::ServerSnapshot::from_parts(0, &[0], &[u32::MAX; 2]);
+        let mut replica = ReplicaState::from_snapshot(0, &empty);
+        assert_eq!(
+            replica.fold(&frame),
+            Err(FoldError::Truncated),
+            "a replica must refuse a truncated delta"
+        );
+    }
+}
+
+fn read_one_frame(stream: &mut TcpStream) -> Vec<u8> {
+    read_frame(stream).unwrap().expect("expected a frame")
+}
+
+fn assert_eof(stream: &mut TcpStream) {
+    let mut buf = [0u8; 1];
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "expected close");
+}
+
+/// Malformed Subscribe traffic over a live socket: the server answers
+/// `Error`, closes that connection, and keeps serving everyone else.
+#[test]
+fn malformed_subscribe_frames_error_close_and_leave_the_server_up() {
+    let handle = serve(Engine::new(50, 3), ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    // Truncated Subscribe body (tag present, `from` cut short).
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let payload = [7u8, 1, 2, 3]; // needs 8 more bytes
+        raw.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(&payload).unwrap();
+        let reply = read_one_frame(&mut raw);
+        assert!(matches!(
+            Response::decode(&reply).unwrap(),
+            Response::Error(_)
+        ));
+        assert_eof(&mut raw);
+    }
+    // Subscribe with trailing garbage.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut payload = Request::Subscribe { from: 1 }.encode();
+        payload.extend_from_slice(&[9, 9]);
+        raw.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(&payload).unwrap();
+        let reply = read_one_frame(&mut raw);
+        assert!(matches!(
+            Response::decode(&reply).unwrap(),
+            Response::Error(_)
+        ));
+        assert_eof(&mut raw);
+    }
+    // A lying length prefix larger than the frame cap.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&(MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
+        let reply = read_one_frame(&mut raw);
+        assert!(matches!(
+            Response::decode(&reply).unwrap(),
+            Response::Error(_)
+        ));
+        assert_eof(&mut raw);
+    }
+
+    // The server is still fully serviceable — including for new subscribers.
+    let mut client = Client::connect(addr).unwrap();
+    client.insert_edges(&[(1, 2)]).unwrap();
+    let mut subscriber = Client::connect(addr).unwrap().subscribe_fresh().unwrap();
+    let state = subscriber.next_round().unwrap().expect("snapshot seed");
+    assert_eq!(state.num_edges(), 1);
+    drop(subscriber);
+    handle.shutdown();
+}

@@ -31,6 +31,7 @@ fn client_round_trips_against_direct_engine() {
         ServerConfig {
             rounds: quick_rounds(),
             record_rounds: false,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -102,6 +103,7 @@ fn concurrent_writers_produce_coherent_recorded_rounds() {
                 max_delay: Duration::from_millis(1),
             },
             record_rounds: true,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -251,6 +253,7 @@ fn clean_shutdown_joins_all_threads_and_drains_staged_updates() {
                 max_delay: Duration::from_secs(3600),
             },
             record_rounds: true,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -317,6 +320,7 @@ fn queries_observe_monotone_rounds_while_writers_stream() {
         ServerConfig {
             rounds: quick_rounds(),
             record_rounds: false,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

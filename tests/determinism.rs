@@ -312,6 +312,68 @@ fn matching_slot_deltas_are_thread_count_independent() {
 }
 
 #[test]
+fn delta_stream_folds_identically_at_every_thread_count() {
+    use greedy_prims::random::hash64;
+    use greedy_server::prelude::{FullDelta, ReplicaState};
+
+    // End-to-end over the serving delta path: the per-round wire deltas are
+    // byte-identical at every pool size, and folding them over the round-0
+    // snapshot reproduces the engine's copy-on-write published snapshot
+    // after every round — the replica a push subscriber reconstructs is the
+    // same bytes no matter how the repairs were scheduled.
+    let base = random_graph(2_500, 8_000, 43);
+    let run = |threads: usize| {
+        in_pool(threads, || {
+            let mut engine = Engine::from_graph(&base, 11);
+            let round0 = engine.server_snapshot();
+            let mut replica = ReplicaState::from_snapshot(0, &round0);
+            let mut frames = Vec::new();
+            for round in 1..=6u64 {
+                let mut batch = EdgeBatch::new();
+                for i in 0..60 {
+                    batch.insert(
+                        (hash64(95, round * 200 + 2 * i) % 2_500) as u32,
+                        (hash64(95, round * 200 + 2 * i + 1) % 2_500) as u32,
+                    );
+                }
+                for i in 0..20u64 {
+                    let matched = engine.matching();
+                    if !matched.is_empty() {
+                        let e =
+                            matched[(hash64(96, round * 200 + i) % matched.len() as u64) as usize];
+                        batch.delete(e.u, e.v);
+                    }
+                }
+                let report = engine.apply_batch(&batch);
+                let frame = FullDelta::from_report(round, &report).to_wire();
+                replica.fold(&frame).expect("contiguous stream must fold");
+                assert_eq!(
+                    replica.to_snapshot(),
+                    engine.server_snapshot(),
+                    "folded replica diverged at round {round} ({threads} threads)"
+                );
+                frames.push(frame);
+            }
+            frames
+        })
+    };
+    let reference = run(1);
+    assert!(
+        reference
+            .iter()
+            .any(|f| !f.mis_flips.is_empty() && !f.match_flips.is_empty()),
+        "the stream never flipped anything — the test is vacuous"
+    );
+    for threads in sweep_threads() {
+        assert_eq!(
+            run(threads),
+            reference,
+            "delta frames changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn spanning_forest_is_prefix_and_thread_independent() {
     let edges = random_graph(2_000, 6_000, 13).to_edge_list();
     let pi = random_edge_permutation(edges.num_edges(), 14);
