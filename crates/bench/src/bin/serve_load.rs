@@ -27,17 +27,26 @@
 //! `server_rounds_per_s`, `server_updates_per_s`, `server_query_p50_us`,
 //! `server_query_p99_us`, `server_subscribe_deltas_per_s`,
 //! `server_subscribe_resyncs`, `server_publish_cow_us`,
-//! `server_publish_full_us`), next to the sort/engine trajectory entries
-//! `run_all --quick` writes; re-runs replace the previous `server_*` entries
-//! instead of accumulating.
+//! `server_publish_full_us`, and — with `--wal-bench` or `--quick` — the
+//! WAL commit-cost entries `server_wal_{sync,off}_rounds_per_s` and
+//! `server_wal_{sync,off}_commit_p99_us`), next to the sort/engine
+//! trajectory entries `run_all --quick` writes; re-runs replace the
+//! previous entries instead of accumulating.
+//!
+//! `--crash-recover` runs a different job entirely: it spawns this binary
+//! as a child that serves over a write-ahead log and `abort()`s mid-stream,
+//! then recovers the directory, independently replays the full logged
+//! history (both reconstruction paths), and restarts a server from it —
+//! exiting nonzero on any divergence.
 //!
 //! ```text
 //! cargo run --release -p greedy_bench --bin serve_load -- --quick
+//! cargo run --release -p greedy_bench --bin serve_load -- --quick --crash-recover
 //! cargo run --release -p greedy_bench --bin serve_load -- --scale small \
 //!     --writers 4 --readers 4 --duration-secs 3
 //! ```
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -45,10 +54,12 @@ use std::time::{Duration, Instant};
 
 use greedy_bench::{merge_quick_entries, Scale};
 use greedy_engine::prelude::{EdgeBatch, Engine, ServerSnapshot};
+use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::Edge;
 use greedy_graph::gen::random::random_graph;
 use greedy_prims::random::hash64;
 use greedy_server::prelude::*;
+use greedy_server::wal;
 
 struct LoadConfig {
     n: usize,
@@ -71,6 +82,19 @@ struct LoadConfig {
     /// — time-share the engine thread off the CPU and measure scheduler
     /// contention instead of the service.
     reader_pace: Duration,
+    /// Serve with a write-ahead log in this directory (and recover from it
+    /// if it already holds a log).
+    data_dir: Option<PathBuf>,
+    /// Crash-recovery audit: spawn this binary as a child that aborts
+    /// mid-stream, then recover its data dir, independently replay the full
+    /// log, and restart a server from it — exiting nonzero on any
+    /// divergence.
+    crash_recover: bool,
+    /// Internal: run as the aborting child of `--crash-recover`.
+    crash_child: bool,
+    /// Measure WAL commit cost (rounds/s + commit p99) with per-round fsync
+    /// vs fsync off, and merge `server_wal_*` rows into BENCH_quick.json.
+    wal_bench: bool,
 }
 
 impl Default for LoadConfig {
@@ -89,6 +113,10 @@ impl Default for LoadConfig {
             max_batch_updates: 8_192,
             max_delay: Duration::from_millis(2),
             reader_pace: Duration::from_millis(1),
+            data_dir: None,
+            crash_recover: false,
+            crash_child: false,
+            wal_bench: false,
         }
     }
 }
@@ -142,6 +170,10 @@ fn parse_args() -> LoadConfig {
             }
             "--verify" => cfg.verify_rounds = true,
             "--publish-bench" => cfg.publish_bench = true,
+            "--data-dir" => cfg.data_dir = Some(PathBuf::from(take("--data-dir"))),
+            "--crash-recover" => cfg.crash_recover = true,
+            "--crash-child" => cfg.crash_child = true,
+            "--wal-bench" => cfg.wal_bench = true,
             // CI smoke mode: tiny graph, short run, full per-round audit —
             // finishes in a couple of seconds.
             "--quick" => {
@@ -153,13 +185,14 @@ fn parse_args() -> LoadConfig {
                 cfg.duration = Duration::from_millis(1_500);
                 cfg.verify_rounds = true;
                 cfg.publish_bench = true;
+                cfg.wal_bench = true;
                 cfg.reader_pace = Duration::from_micros(300);
             }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale tiny|small|medium --writers N --readers M --subscribers K \
                      --batch B --duration-secs S --seed X --reader-pace-us U --verify \
-                     --publish-bench --quick"
+                     --publish-bench --data-dir DIR --crash-recover --wal-bench --quick"
                 );
                 std::process::exit(0);
             }
@@ -172,6 +205,13 @@ fn parse_args() -> LoadConfig {
 
 fn main() {
     let cfg = parse_args();
+    if cfg.crash_child {
+        run_crash_child(&cfg);
+    }
+    if cfg.crash_recover {
+        run_crash_recover(&cfg);
+        return;
+    }
     eprintln!(
         "== serve_load: n={} m={} writers={} readers={} subscribers={} batch={} duration={:?} \
          verify={}",
@@ -195,6 +235,7 @@ fn main() {
                 max_delay: cfg.max_delay,
             },
             record_rounds: cfg.verify_rounds,
+            wal: cfg.data_dir.clone().map(WalConfig::durable),
             ..ServerConfig::default()
         },
     )
@@ -544,16 +585,309 @@ fn main() {
             "us",
         ));
     }
+    // Exact name prefixes, not the bare "server_" family prefix: the
+    // `server_wal_*` rows are produced (and merged) separately below, and a
+    // blanket "server_" claim here would silently delete them on every run
+    // that skips the WAL bench.
     merge_quick_entries(
         Path::new("results/BENCH_quick.json"),
         cfg.seed,
-        &["server_"],
+        &[
+            "server_rounds",
+            "server_updates",
+            "server_query",
+            "server_subscribe",
+            "server_publish",
+        ],
         "server",
         &rows,
     );
     eprintln!(
         "   merged {} server_* entries into results/BENCH_quick.json",
         rows.len()
+    );
+
+    if cfg.wal_bench {
+        let wal_rows = wal_bench(cfg.seed);
+        merge_quick_entries(
+            Path::new("results/BENCH_quick.json"),
+            cfg.seed,
+            &["server_wal_"],
+            "server_wal",
+            &wal_rows,
+        );
+        eprintln!(
+            "   merged {} server_wal_* entries into results/BENCH_quick.json",
+            wal_rows.len()
+        );
+    }
+}
+
+/// WAL commit-cost microbenchmark: the same single-writer load served twice
+/// over a write-ahead log, once with per-round fsync and once with fsync
+/// off, reporting committed rounds/s and the p99 client-observed commit
+/// latency for each. Everything but the fsync policy is identical, so the
+/// gap between the two runs is the honest price of the durability
+/// guarantee ("no round is acked before it is on disk").
+fn wal_bench(seed: u64) -> Vec<String> {
+    const N: usize = 10_000;
+    const M: usize = 40_000;
+    let run = |fsync: FsyncPolicy, tag: &str| -> (f64, f64) {
+        let dir = std::env::temp_dir().join(format!(
+            "greedy_serve_load_walbench_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = random_graph(N, M, seed ^ 0x3A1);
+        let handle = serve(
+            Engine::from_graph(&base, seed),
+            ServerConfig {
+                wal: Some(WalConfig {
+                    fsync,
+                    ..WalConfig::durable(dir.clone())
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("wal bench serve");
+        let mut client = Client::connect(handle.addr()).expect("wal bench connect");
+        let mut latencies_us: Vec<u64> = Vec::new();
+        let mut prev: Vec<(u32, u32)> = Vec::new();
+        let mut k = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < Duration::from_millis(700) {
+            let timed = if !prev.is_empty() && k % 2 == 1 {
+                let batch = std::mem::take(&mut prev);
+                let t = Instant::now();
+                client.delete_edges(&batch).expect("wal bench delete");
+                t.elapsed()
+            } else {
+                let fresh: Vec<(u32, u32)> = (0..64u64)
+                    .map(|i| {
+                        let key = k * 64 + i;
+                        (
+                            (hash64(seed ^ 0x11AD, 2 * key) % N as u64) as u32,
+                            (hash64(seed ^ 0x11AD, 2 * key + 1) % N as u64) as u32,
+                        )
+                    })
+                    .collect();
+                let t = Instant::now();
+                client.insert_edges(&fresh).expect("wal bench insert");
+                prev = fresh;
+                t.elapsed()
+            };
+            latencies_us.push(timed.as_micros() as u64);
+            k += 1;
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let report = handle.shutdown();
+        let rounds = report.engine.stats().batches;
+        let _ = std::fs::remove_dir_all(&dir);
+        latencies_us.sort_unstable();
+        let p99 = if latencies_us.is_empty() {
+            0
+        } else {
+            latencies_us[((latencies_us.len() - 1) as f64 * 0.99).round() as usize]
+        };
+        (rounds as f64 / elapsed, p99 as f64)
+    };
+    let (sync_rps, sync_p99) = run(FsyncPolicy::PerRound, "sync");
+    let (off_rps, off_p99) = run(FsyncPolicy::Off, "off");
+    eprintln!(
+        "   wal (n={N})       fsync per-round {sync_rps:.0} rounds/s (commit p99 {sync_p99:.0} us) \
+         vs off {off_rps:.0} rounds/s (commit p99 {off_p99:.0} us)"
+    );
+    vec![
+        quick_row(
+            "server_wal_sync_rounds_per_s",
+            1,
+            N,
+            M,
+            sync_rps,
+            "rounds/s",
+        ),
+        quick_row("server_wal_sync_commit_p99_us", 1, N, M, sync_p99, "us"),
+        quick_row("server_wal_off_rounds_per_s", 1, N, M, off_rps, "rounds/s"),
+        quick_row("server_wal_off_commit_p99_us", 1, N, M, off_p99, "us"),
+    ]
+}
+
+/// The aborting child of `--crash-recover`: serves with a per-round-fsync
+/// WAL in `--data-dir`, lets two writers hammer it for a while, then pulls
+/// the plug with `abort()` — no shutdown, no final checkpoint, no log
+/// close. Everything the parent finds on disk afterwards is exactly what a
+/// crash leaves behind.
+fn run_crash_child(cfg: &LoadConfig) -> ! {
+    let dir = cfg
+        .data_dir
+        .clone()
+        .expect("--crash-child requires --data-dir");
+    let wal_cfg = WalConfig {
+        fsync: FsyncPolicy::PerRound,
+        segment_rounds: 64,
+        checkpoint_every: 0,
+        // Keep every segment so the parent can audit the FULL history from
+        // the base checkpoint, not just the recovery suffix.
+        retain_all: true,
+        dir,
+    };
+    let base = random_graph(5_000, 10_000, cfg.seed);
+    let handle = serve(
+        Engine::from_graph(&base, cfg.seed),
+        ServerConfig {
+            wal: Some(wal_cfg),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("crash child serve");
+    let addr = handle.addr();
+    for w in 0..2u64 {
+        let seed = cfg.seed;
+        thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("child writer connect");
+            let mut prev: Vec<(u32, u32)> = Vec::new();
+            let mut k = 0u64;
+            loop {
+                if !prev.is_empty() && k % 2 == 1 {
+                    let batch = std::mem::take(&mut prev);
+                    let _ = client.delete_edges(&batch);
+                } else {
+                    let fresh: Vec<(u32, u32)> = (0..256u64)
+                        .map(|i| {
+                            let key = k * 256 + i;
+                            (
+                                (hash64(seed ^ 0xC4A5 ^ (w << 48), 2 * key) % 5_000) as u32,
+                                (hash64(seed ^ 0xC4A5 ^ (w << 48), 2 * key + 1) % 5_000) as u32,
+                            )
+                        })
+                        .collect();
+                    let _ = client.insert_edges(&fresh);
+                    prev = fresh;
+                }
+                k += 1;
+            }
+        });
+    }
+    thread::sleep(Duration::from_millis(600));
+    std::process::abort();
+}
+
+/// Crash-recovery audit: spawn this binary as a child that serves with a
+/// WAL and aborts mid-stream, then (1) recover the directory, (2)
+/// independently replay the FULL logged history from the base checkpoint —
+/// batch-replay through a fresh engine AND delta-fold through a replica —
+/// and require byte-identical agreement with the recovered state, and (3)
+/// restart a real server from the directory and check it serves that state
+/// and continues the round numbering. Any divergence panics, so the
+/// process exits nonzero and CI fails.
+fn run_crash_recover(cfg: &LoadConfig) {
+    let dir = cfg.data_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("greedy_serve_load_crash_{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("== serve_load --crash-recover: data dir {}", dir.display());
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let status = std::process::Command::new(exe)
+        .arg("--crash-child")
+        .arg("--data-dir")
+        .arg(&dir)
+        .arg("--seed")
+        .arg(cfg.seed.to_string())
+        .status()
+        .expect("spawn crash child");
+    assert!(
+        !status.success(),
+        "the child is supposed to abort mid-stream, but exited cleanly ({status})"
+    );
+
+    let recovered = wal::recover(&dir)
+        .expect("recovery must not error on a crashed directory")
+        .expect("the crashed child must have left a log behind");
+    assert!(
+        recovered.round > 0,
+        "the child aborted before committing a single round; nothing was audited"
+    );
+    assert_eq!(
+        recovered.checkpoint_round, 0,
+        "the child never checkpoints, so recovery must come from the base checkpoint"
+    );
+    eprintln!(
+        "   recovered round {} ({} records replayed{})",
+        recovered.round,
+        recovered.replayed,
+        if recovered.tail_truncated {
+            ", torn tail truncated"
+        } else {
+            ""
+        }
+    );
+
+    // Independent audit: rebuild from the base checkpoint and the raw log,
+    // through BOTH reconstruction paths, and compare byte-for-byte.
+    let ckpt = wal::load_checkpoint(&wal::checkpoint_file(&dir, 0)).expect("base checkpoint");
+    let mut replay = Engine::from_graph(
+        &Graph::from_edges(ckpt.num_vertices, &ckpt.edges),
+        ckpt.seed,
+    );
+    let mut replica = ckpt.replica;
+    let (records, _torn) = wal::read_log_records(&dir, 0).expect("read raw log");
+    let mut last = 0u64;
+    for rec in records.iter().take_while(|r| r.round <= recovered.round) {
+        replay.apply_batch(&EdgeBatch {
+            insertions: rec.insertions.clone(),
+            deletions: rec.deletions.clone(),
+        });
+        replica.fold(&rec.delta).expect("logged delta must fold");
+        last = rec.round;
+    }
+    assert_eq!(
+        last, recovered.round,
+        "the raw log must reach the recovered round"
+    );
+    let audited = replay.server_snapshot();
+    assert_eq!(
+        audited,
+        recovered.engine.server_snapshot(),
+        "recovered state diverges from an independent full-history batch replay"
+    );
+    assert_eq!(
+        replica.to_snapshot(),
+        audited,
+        "delta-folded replica diverges from the batch-replayed engine"
+    );
+    eprintln!("   audit: full-history replay (batches AND deltas) byte-identical at round {last}");
+
+    // Restart a real server from the directory. The engine argument is a
+    // decoy: the directory is authoritative.
+    let handle = serve(
+        Engine::new(1, cfg.seed),
+        ServerConfig {
+            wal: Some(WalConfig::durable(dir.clone())),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("restart from the recovered directory");
+    assert_eq!(handle.committed_round(), recovered.round);
+    assert_eq!(
+        handle.snapshot().state,
+        audited,
+        "restarted server does not serve the recovered state"
+    );
+    let mut client = Client::connect(handle.addr()).expect("connect to restarted server");
+    let delta = client
+        .insert_edges(&[(1, 2)])
+        .expect("post-recovery insert");
+    assert_eq!(
+        delta.round,
+        recovered.round + 1,
+        "round ids must continue after recovery, not restart"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "   crash-recovery audit passed: state byte-identical, rounds resumed at {}",
+        recovered.round + 1
     );
 }
 

@@ -134,11 +134,21 @@ pub struct DeltaFeed {
 impl DeltaFeed {
     /// A feed retaining the last `ring_capacity` round deltas for replay.
     pub fn new(ring_capacity: usize) -> Self {
+        Self::with_base_round(ring_capacity, 0)
+    }
+
+    /// A feed whose first published round will be `base_round + 1` — used by
+    /// a recovered server so round numbering continues from the log. Without
+    /// this, a subscriber reconnecting with its replica already *at* the
+    /// recovered round would look like it came from the future
+    /// (`from > last_round`) and be bounced through a spurious full-snapshot
+    /// resync instead of an empty backlog.
+    pub fn with_base_round(ring_capacity: usize, base_round: u64) -> Self {
         assert!(ring_capacity >= 1, "the ring must hold at least one round");
         Self {
             inner: Mutex::new(FeedInner {
                 ring: VecDeque::with_capacity(ring_capacity),
-                last_round: 0,
+                last_round: base_round,
                 subscribers: Vec::new(),
                 closed: false,
             }),
@@ -156,7 +166,7 @@ impl DeltaFeed {
     /// without blocking. A subscriber whose channel is full is marked
     /// lagging; one whose receiver is gone is pruned.
     pub fn publish(&self, delta: Arc<FullDelta>) {
-        let mut inner = self.inner.lock().expect("delta feed poisoned");
+        let mut inner = crate::rounds::lock_unpoisoned(&self.inner);
         if inner.ring.len() == self.ring_capacity {
             inner.ring.pop_front();
         }
@@ -182,7 +192,7 @@ impl DeltaFeed {
     /// no round can fall between them. Returns `None` once the feed is
     /// closed.
     pub fn subscribe_from(&self, from: u64) -> Option<Subscription> {
-        let mut inner = self.inner.lock().expect("delta feed poisoned");
+        let mut inner = crate::rounds::lock_unpoisoned(&self.inner);
         if inner.closed {
             return None;
         }
@@ -221,9 +231,7 @@ impl DeltaFeed {
     /// Number of currently registered subscribers (pruning happens on
     /// publish, so a just-disconnected one may still be counted).
     pub fn subscriber_count(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("delta feed poisoned")
+        crate::rounds::lock_unpoisoned(&self.inner)
             .subscribers
             .len()
     }
@@ -233,7 +241,7 @@ impl DeltaFeed {
     /// Called after the engine thread has exited, which is what guarantees
     /// the final round's delta is already queued everywhere it should be.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("delta feed poisoned");
+        let mut inner = crate::rounds::lock_unpoisoned(&self.inner);
         inner.closed = true;
         inner.subscribers.clear();
     }
@@ -274,6 +282,64 @@ mod tests {
             .backlog
             .is_none());
         assert!(feed.subscribe_from(9).unwrap().backlog.is_none());
+    }
+
+    #[test]
+    fn base_at_exact_retention_edge_replays_from_the_ring() {
+        // Ring capacity 3, rounds 1..=5 published: the ring retains 3..=5,
+        // so round 3 is the oldest retained round. A subscriber whose base
+        // *is* that oldest round needs exactly 4..=5 — all still in the ring
+        // — and must get them by replay, not a spurious snapshot resync.
+        let feed = DeltaFeed::new(3);
+        for r in 1..=5 {
+            feed.publish(delta(r));
+        }
+        let sub = feed.subscribe_from(3).unwrap();
+        let rounds: Vec<u64> = sub
+            .backlog
+            .expect("edge base replays")
+            .iter()
+            .map(|d| d.round)
+            .collect();
+        assert_eq!(rounds, vec![4, 5]);
+        // The true edge is one round further back: a base of 2 still works
+        // (its first missing round, 3, is the oldest retained delta), but a
+        // base of 1 needs evicted round 2 — snapshot resync is the only
+        // safe path there.
+        let sub = feed.subscribe_from(2).unwrap();
+        let rounds: Vec<u64> = sub
+            .backlog
+            .expect("first-missing-round-retained base replays")
+            .iter()
+            .map(|d| d.round)
+            .collect();
+        assert_eq!(rounds, vec![3, 4, 5]);
+        assert!(feed.subscribe_from(1).unwrap().backlog.is_none());
+    }
+
+    #[test]
+    fn empty_ring_round_zero_base_gets_empty_backlog_not_resync() {
+        // A fresh feed has published nothing: a subscriber whose base is
+        // round 0 (the pre-traffic state every server starts from) is
+        // already up to date — empty backlog, no snapshot stream.
+        let feed = DeltaFeed::new(4);
+        let sub = feed.subscribe_from(0).unwrap();
+        assert_eq!(sub.backlog.expect("round-0 base is current").len(), 0);
+        // But a claimed future round on the same empty ring must resync.
+        assert!(feed.subscribe_from(1).unwrap().backlog.is_none());
+    }
+
+    #[test]
+    fn recovered_base_round_is_current_not_future() {
+        // A feed reopened at a recovered round: a subscriber already at that
+        // round is up to date (empty backlog); one exactly one round behind
+        // has its missing round nowhere (not yet republished) and resyncs.
+        let feed = DeltaFeed::with_base_round(4, 41);
+        assert_eq!(feed.subscribe_from(41).unwrap().backlog.unwrap().len(), 0);
+        assert!(feed.subscribe_from(40).unwrap().backlog.is_none());
+        let sub = feed.subscribe_from(41).unwrap();
+        feed.publish(delta(42));
+        assert_eq!(sub.receiver.try_recv().unwrap().round, 42);
     }
 
     #[test]

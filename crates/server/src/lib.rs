@@ -70,6 +70,7 @@ pub mod replica;
 pub mod rounds;
 pub mod serve;
 pub mod snapshot;
+pub mod wal;
 
 /// Commonly used items.
 pub mod prelude {
@@ -83,4 +84,5 @@ pub mod prelude {
         serve, serve_on, Client, ServerConfig, ServerHandle, ShutdownReport, Subscriber,
     };
     pub use crate::snapshot::{PublishedSnapshot, SnapshotCell};
+    pub use crate::wal::{recover, FsyncPolicy, Recovered, Wal, WalConfig};
 }

@@ -193,6 +193,11 @@ pub struct SnapshotChunk {
 pub struct StatsReply {
     /// Round id of the snapshot the numbers describe.
     pub round: u64,
+    /// Highest round whose write-ahead-log record is durable on disk (0 when
+    /// the server runs without a WAL). Under the per-round fsync policy this
+    /// tracks `round`; under group fsync it may trail by the group size; with
+    /// fsync off it advances only when a rotation or checkpoint syncs.
+    pub durable_round: u64,
     /// Vertices in the graph.
     pub num_vertices: u64,
     /// Edges currently present.
@@ -245,19 +250,19 @@ pub enum Response {
 
 // ---------------------------------------------------------------- encoding
 
-fn put_u32(buf: &mut Vec<u8>, x: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, x: u32) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, x: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, x: u64) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
 
-fn put_list_len(buf: &mut Vec<u8>, len: usize) {
+pub(crate) fn put_list_len(buf: &mut Vec<u8>, len: usize) {
     put_u32(buf, u32::try_from(len).expect("list longer than u32::MAX"));
 }
 
-fn put_pairs(buf: &mut Vec<u8>, pairs: &[(u32, u32)]) {
+pub(crate) fn put_pairs(buf: &mut Vec<u8>, pairs: &[(u32, u32)]) {
     put_list_len(buf, pairs.len());
     for &(u, v) in pairs {
         put_u32(buf, u);
@@ -265,11 +270,112 @@ fn put_pairs(buf: &mut Vec<u8>, pairs: &[(u32, u32)]) {
     }
 }
 
-fn put_vertices(buf: &mut Vec<u8>, vs: &[u32]) {
+pub(crate) fn put_vertices(buf: &mut Vec<u8>, vs: &[u32]) {
     put_list_len(buf, vs.len());
     for &v in vs {
         put_u32(buf, v);
     }
+}
+
+/// Encodes a delta body (everything after the tag byte of a
+/// [`Response::Delta`] frame) from its parts. Shared by the wire path and
+/// the write-ahead log, so a WAL record *is* the wire encoding — one format,
+/// one set of decode checks. The WAL passes the exact, uncapped flip lists
+/// with `truncated == false`; the wire path passes the capped ones.
+pub(crate) fn put_delta_parts(
+    buf: &mut Vec<u8>,
+    round: u64,
+    inserted: u64,
+    deleted: u64,
+    mis_flips: &[u32],
+    match_flips: &[MatchFlip],
+    truncated: bool,
+) {
+    put_u64(buf, round);
+    put_u64(buf, inserted);
+    put_u64(buf, deleted);
+    put_vertices(buf, mis_flips);
+    put_list_len(buf, match_flips.len());
+    for f in match_flips {
+        put_u32(buf, f.slot);
+        put_u32(buf, f.u);
+        put_u32(buf, f.v);
+        buf.push(f.matched as u8);
+    }
+    buf.push(truncated as u8);
+}
+
+/// Decodes a delta body written by [`put_delta_parts`].
+pub(crate) fn read_delta_body(c: &mut Cursor<'_>) -> io::Result<DeltaFrame> {
+    let round = c.u64()?;
+    let inserted = c.u64()?;
+    let deleted = c.u64()?;
+    let mis_flips = c.vertices()?;
+    let len = c.list_len(13)?;
+    let mut match_flips = Vec::with_capacity(len);
+    for _ in 0..len {
+        match_flips.push(MatchFlip {
+            slot: c.u32()?,
+            u: c.u32()?,
+            v: c.u32()?,
+            matched: c.boolean()?,
+        });
+    }
+    Ok(DeltaFrame {
+        round,
+        inserted,
+        deleted,
+        mis_flips,
+        match_flips,
+        truncated: c.boolean()?,
+    })
+}
+
+/// Encodes a snapshot-chunk body (everything after the tag byte of a
+/// [`Response::Snapshot`] frame). Shared by the wire path and the WAL's
+/// checkpoint files, which store the chunk stream verbatim.
+pub(crate) fn put_snapshot_chunk(buf: &mut Vec<u8>, s: &SnapshotChunk) {
+    put_u64(buf, s.round);
+    put_u64(buf, s.num_vertices);
+    put_u64(buf, s.num_edges);
+    put_u64(buf, s.start);
+    put_list_len(buf, s.mis_words.len());
+    for &w in &s.mis_words {
+        put_u64(buf, w);
+    }
+    put_vertices(buf, &s.partners);
+    buf.push(s.last as u8);
+}
+
+/// Decodes a snapshot-chunk body, with the same structural checks the wire
+/// decoder applies (64-aligned start, bit words covering the partners).
+pub(crate) fn read_snapshot_chunk_body(c: &mut Cursor<'_>) -> io::Result<SnapshotChunk> {
+    let round = c.u64()?;
+    let num_vertices = c.u64()?;
+    let num_edges = c.u64()?;
+    let start = c.u64()?;
+    let mis_words = c.words()?;
+    let partners = c.vertices()?;
+    let last = c.boolean()?;
+    if start % 64 != 0 {
+        return Err(malformed(format!("chunk start {start} not 64-aligned")));
+    }
+    if mis_words.len() != partners.len().div_ceil(64) {
+        return Err(malformed(format!(
+            "chunk carries {} bit words for {} partners",
+            mis_words.len(),
+            partners.len()
+        )));
+    }
+    Ok(SnapshotChunk {
+        round,
+        num_vertices,
+        num_edges,
+        start,
+        mis_words,
+        partners,
+        last,
+    })
 }
 
 impl Request {
@@ -354,6 +460,7 @@ impl Response {
                 buf.push(4);
                 for x in [
                     s.round,
+                    s.durable_round,
                     s.num_vertices,
                     s.num_edges,
                     s.mis_size,
@@ -368,31 +475,19 @@ impl Response {
             Response::ShuttingDown => buf.push(5),
             Response::Delta(d) => {
                 buf.push(7);
-                put_u64(&mut buf, d.round);
-                put_u64(&mut buf, d.inserted);
-                put_u64(&mut buf, d.deleted);
-                put_vertices(&mut buf, &d.mis_flips);
-                put_list_len(&mut buf, d.match_flips.len());
-                for f in &d.match_flips {
-                    put_u32(&mut buf, f.slot);
-                    put_u32(&mut buf, f.u);
-                    put_u32(&mut buf, f.v);
-                    buf.push(f.matched as u8);
-                }
-                buf.push(d.truncated as u8);
+                put_delta_parts(
+                    &mut buf,
+                    d.round,
+                    d.inserted,
+                    d.deleted,
+                    &d.mis_flips,
+                    &d.match_flips,
+                    d.truncated,
+                );
             }
             Response::Snapshot(s) => {
                 buf.push(8);
-                put_u64(&mut buf, s.round);
-                put_u64(&mut buf, s.num_vertices);
-                put_u64(&mut buf, s.num_edges);
-                put_u64(&mut buf, s.start);
-                put_list_len(&mut buf, s.mis_words.len());
-                for &w in &s.mis_words {
-                    put_u64(&mut buf, w);
-                }
-                put_vertices(&mut buf, &s.partners);
-                buf.push(s.last as u8);
+                put_snapshot_chunk(&mut buf, s);
             }
             Response::Error(msg) => {
                 buf.push(6);
@@ -436,6 +531,7 @@ impl Response {
             },
             4 => Response::Stats(StatsReply {
                 round: c.u64()?,
+                durable_round: c.u64()?,
                 num_vertices: c.u64()?,
                 num_edges: c.u64()?,
                 mis_size: c.u64()?,
@@ -445,58 +541,8 @@ impl Response {
                 edges_deleted: c.u64()?,
             }),
             5 => Response::ShuttingDown,
-            7 => {
-                let round = c.u64()?;
-                let inserted = c.u64()?;
-                let deleted = c.u64()?;
-                let mis_flips = c.vertices()?;
-                let len = c.list_len(13)?;
-                let mut match_flips = Vec::with_capacity(len);
-                for _ in 0..len {
-                    match_flips.push(MatchFlip {
-                        slot: c.u32()?,
-                        u: c.u32()?,
-                        v: c.u32()?,
-                        matched: c.boolean()?,
-                    });
-                }
-                Response::Delta(DeltaFrame {
-                    round,
-                    inserted,
-                    deleted,
-                    mis_flips,
-                    match_flips,
-                    truncated: c.boolean()?,
-                })
-            }
-            8 => {
-                let round = c.u64()?;
-                let num_vertices = c.u64()?;
-                let num_edges = c.u64()?;
-                let start = c.u64()?;
-                let mis_words = c.words()?;
-                let partners = c.vertices()?;
-                let last = c.boolean()?;
-                if start % 64 != 0 {
-                    return Err(malformed(format!("chunk start {start} not 64-aligned")));
-                }
-                if mis_words.len() != partners.len().div_ceil(64) {
-                    return Err(malformed(format!(
-                        "chunk carries {} bit words for {} partners",
-                        mis_words.len(),
-                        partners.len()
-                    )));
-                }
-                Response::Snapshot(SnapshotChunk {
-                    round,
-                    num_vertices,
-                    num_edges,
-                    start,
-                    mis_words,
-                    partners,
-                    last,
-                })
-            }
+            7 => Response::Delta(read_delta_body(&mut c)?),
+            8 => Response::Snapshot(read_snapshot_chunk_body(&mut c)?),
             6 => {
                 let len = c.list_len(1)?;
                 let bytes = c.bytes(len)?;
@@ -552,18 +598,20 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-fn malformed(msg: String) -> io::Error {
+pub(crate) fn malformed(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Strict little-endian reader over a payload slice.
-struct Cursor<'a> {
+/// Strict little-endian reader over a payload slice. `pub(crate)` so the
+/// write-ahead log ([`crate::wal`]) decodes its records with the same strict
+/// checks the wire decoders use.
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
@@ -578,20 +626,20 @@ impl<'a> Cursor<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> io::Result<u8> {
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
         Ok(self.bytes(1)?[0])
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
     /// A strict boolean byte: anything but 0/1 is malformed.
-    fn boolean(&mut self) -> io::Result<bool> {
+    pub(crate) fn boolean(&mut self) -> io::Result<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -601,7 +649,7 @@ impl<'a> Cursor<'a> {
 
     /// Reads a list count and checks `count * elem_size` bytes are actually
     /// present, so a lying count cannot trigger a huge allocation.
-    fn list_len(&mut self, elem_size: usize) -> io::Result<usize> {
+    pub(crate) fn list_len(&mut self, elem_size: usize) -> io::Result<usize> {
         let count = self.u32()? as usize;
         let need = count
             .checked_mul(elem_size)
@@ -615,23 +663,23 @@ impl<'a> Cursor<'a> {
         Ok(count)
     }
 
-    fn vertices(&mut self) -> io::Result<Vec<u32>> {
+    pub(crate) fn vertices(&mut self) -> io::Result<Vec<u32>> {
         let len = self.list_len(4)?;
         (0..len).map(|_| self.u32()).collect()
     }
 
-    fn words(&mut self) -> io::Result<Vec<u64>> {
+    pub(crate) fn words(&mut self) -> io::Result<Vec<u64>> {
         let len = self.list_len(8)?;
         (0..len).map(|_| self.u64()).collect()
     }
 
-    fn pairs(&mut self) -> io::Result<Vec<(u32, u32)>> {
+    pub(crate) fn pairs(&mut self) -> io::Result<Vec<(u32, u32)>> {
         let len = self.list_len(8)?;
         (0..len).map(|_| Ok((self.u32()?, self.u32()?))).collect()
     }
 
     /// Asserts the payload was consumed exactly.
-    fn finish(self) -> io::Result<()> {
+    pub(crate) fn finish(self) -> io::Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -700,6 +748,7 @@ mod tests {
         });
         roundtrip_response(Response::Stats(StatsReply {
             round: 4,
+            durable_round: 3,
             num_vertices: 10,
             num_edges: 20,
             mis_size: 5,

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use std::mem;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use greedy_engine::prelude::{EdgeBatch, Engine};
@@ -33,6 +33,18 @@ use greedy_graph::edge_list::Edge;
 use crate::feed::{DeltaFeed, FullDelta};
 use crate::protocol::RoundDelta;
 use crate::snapshot::{PublishedSnapshot, SnapshotCell};
+use crate::wal::Wal;
+
+/// Locks a mutex, recovering from poison. The serving layer's shared state
+/// is only ever mutated in small, atomic critical sections (splice a vector,
+/// bump a counter, push a record), so a panic mid-section cannot leave it
+/// half-updated in a way later readers would misread — recovering the guard
+/// is strictly better than cascading the panic into every thread that shares
+/// the lock (which is what turned one bad connection into a failed
+/// `shutdown()` drain).
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Flush policy for the round scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +102,13 @@ pub struct CommitSinks<'a> {
     /// Subscriber hub + replay ring; `None` in tests that only exercise the
     /// scheduler.
     pub feed: Option<&'a DeltaFeed>,
+    /// Write-ahead log; when present, the round's record is appended (and
+    /// made as durable as the fsync policy promises) **before** any other
+    /// sink sees the round and before any writer is woken — the WAL's
+    /// ordering guarantee. A WAL write failure is fail-stop: the engine
+    /// thread exits without acking the round, so no writer ever holds an
+    /// acknowledgment for a round that is not in the log.
+    pub wal: Option<&'a Mutex<Wal>>,
 }
 
 /// Per-round rendezvous between the engine thread and the writers waiting on
@@ -133,8 +152,17 @@ pub struct RoundScheduler {
 }
 
 impl RoundScheduler {
-    /// A scheduler with the given flush policy.
+    /// A scheduler with the given flush policy, starting at round 1.
     pub fn new(config: RoundConfig) -> Self {
+        Self::with_base_round(config, 0)
+    }
+
+    /// A scheduler whose first committed round will be `base_round + 1` —
+    /// how a recovered server resumes its round numbering where the log left
+    /// off instead of restarting at 1 (round ids are durable identifiers
+    /// once a WAL exists: subscribers, checkpoints, and log records all key
+    /// on them).
+    pub fn with_base_round(config: RoundConfig, base_round: u64) -> Self {
         assert!(config.max_batch_updates >= 1, "rounds must hold an update");
         Self {
             state: Mutex::new(State {
@@ -142,8 +170,8 @@ impl RoundScheduler {
                 deletions: Vec::new(),
                 staged: 0,
                 opened_at: None,
-                staging_round: 1,
-                committed_round: 0,
+                staging_round: base_round + 1,
+                committed_round: base_round,
                 slots: HashMap::new(),
                 shutdown: false,
                 engine_exited: false,
@@ -161,10 +189,7 @@ impl RoundScheduler {
 
     /// Highest committed round id.
     pub fn committed_round(&self) -> u64 {
-        self.state
-            .lock()
-            .expect("scheduler poisoned")
-            .committed_round
+        lock_unpoisoned(&self.state).committed_round
     }
 
     /// Stages a writer's updates and blocks until the round containing them
@@ -176,7 +201,7 @@ impl RoundScheduler {
         deletions: Vec<Edge>,
     ) -> Result<RoundDelta, ShuttingDown> {
         let count = insertions.len() + deletions.len();
-        let mut s = self.state.lock().expect("scheduler poisoned");
+        let mut s = lock_unpoisoned(&self.state);
         if s.shutdown {
             return Err(ShuttingDown);
         }
@@ -223,32 +248,45 @@ impl RoundScheduler {
             if s.engine_exited {
                 return Err(ShuttingDown);
             }
-            s = self.commit_wake.wait(s).expect("scheduler poisoned");
+            s = self
+                .commit_wake
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Begins shutdown: new submissions are refused, the engine thread
     /// commits whatever is staged in one final round and then exits.
     pub fn shutdown(&self) {
-        let mut s = self.state.lock().expect("scheduler poisoned");
+        let mut s = lock_unpoisoned(&self.state);
         s.shutdown = true;
         self.engine_wake.notify_all();
     }
 
     /// True once [`RoundScheduler::shutdown`] has been called.
     pub fn is_shutting_down(&self) -> bool {
-        self.state.lock().expect("scheduler poisoned").shutdown
+        lock_unpoisoned(&self.state).shutdown
     }
 
     /// The engine thread's body: waits for rounds to fill (or time out, or
-    /// shutdown), applies each as one batch, publishes the round into every
+    /// shutdown), applies each as one batch, logs it to the WAL (when
+    /// configured) *before* any publication, publishes the round into every
     /// sink, and wakes the round's writers. Returns the engine once shutdown
-    /// has drained the staging buffer, so the caller can inspect final
-    /// state.
+    /// has drained the staging buffer (writing a final checkpoint when a WAL
+    /// is attached), so the caller can inspect final state.
+    ///
+    /// However `drive` exits — clean drain, WAL fail-stop, or a panic inside
+    /// `apply_batch` — a drop guard marks the scheduler shut down and wakes
+    /// every blocked writer with [`ShuttingDown`]; nobody waits on a dead
+    /// engine.
     pub fn drive(&self, mut engine: Engine, sinks: CommitSinks<'_>) -> Engine {
+        // Armed for the whole drive: runs on normal return AND on unwind, so
+        // a panicking engine thread cannot strand writers on the condvar.
+        let _exit_guard = EngineExitGuard(self);
+        let mut last_round = self.committed_round();
         loop {
             let (insertions, deletions, round) = {
-                let mut s = self.state.lock().expect("scheduler poisoned");
+                let mut s = lock_unpoisoned(&self.state);
                 loop {
                     if s.staged >= self.config.max_batch_updates {
                         break;
@@ -263,16 +301,25 @@ impl RoundScheduler {
                         let (guard, _) = self
                             .engine_wake
                             .wait_timeout(s, deadline - now)
-                            .expect("scheduler poisoned");
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
                         s = guard;
                     } else if s.shutdown {
-                        // Nothing staged and shutdown requested: done. Wake
-                        // any straggler so nobody waits on a dead engine.
-                        s.engine_exited = true;
-                        self.commit_wake.notify_all();
+                        // Nothing staged and shutdown requested: done (the
+                        // exit guard wakes any straggler). The final
+                        // checkpoint happens outside the staging lock.
+                        drop(s);
+                        if let Some(wal) = sinks.wal {
+                            let mut wal = lock_unpoisoned(wal);
+                            if let Err(e) = wal.checkpoint(last_round, &engine) {
+                                eprintln!("wal: final checkpoint failed: {e}");
+                            }
+                        }
                         return engine;
                     } else {
-                        s = self.engine_wake.wait(s).expect("scheduler poisoned");
+                        s = self
+                            .engine_wake
+                            .wait(s)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
                     }
                 }
                 let insertions = mem::take(&mut s.insertions);
@@ -291,6 +338,29 @@ impl RoundScheduler {
                 deletions,
             };
             let report = engine.apply_batch(&batch);
+            let full = std::sync::Arc::new(FullDelta::from_report(round, &report));
+
+            // Durability first: the round's record must be on the log (and
+            // as synced as the policy promises) before queries, subscribers,
+            // or — crucially — the writers waiting for the ack can see it.
+            // An unloggable round is fail-stop: exit without acking, so the
+            // writers get `ShuttingDown` instead of a commit the disk never
+            // saw.
+            if let Some(wal) = sinks.wal {
+                let mut wal = lock_unpoisoned(wal);
+                if let Err(e) = wal.append_round(round, &batch.insertions, &batch.deletions, &full)
+                {
+                    eprintln!("wal: append for round {round} failed, stopping engine: {e}");
+                    return engine;
+                }
+                if let Err(e) = wal.maybe_checkpoint(round, &engine) {
+                    eprintln!(
+                        "wal: periodic checkpoint at round {round} failed, stopping engine: {e}"
+                    );
+                    return engine;
+                }
+            }
+
             // `server_snapshot` is copy-on-write: its cost is the pages the
             // round touched, not O(n) — cheap enough to take every round.
             let snapshot = std::sync::Arc::new(PublishedSnapshot {
@@ -299,21 +369,19 @@ impl RoundScheduler {
                 stats: *engine.stats(),
             });
             sinks.cell.publish_arc(snapshot.clone());
-            let full = std::sync::Arc::new(FullDelta::from_report(round, &report));
             if let Some(rec) = sinks.record {
-                rec.lock()
-                    .expect("round record poisoned")
-                    .push(CommittedRound {
-                        round,
-                        insertions: batch.insertions,
-                        deletions: batch.deletions,
-                        snapshot,
-                        delta: full.clone(),
-                    });
+                lock_unpoisoned(rec).push(CommittedRound {
+                    round,
+                    insertions: batch.insertions,
+                    deletions: batch.deletions,
+                    snapshot,
+                    delta: full.clone(),
+                });
             }
             if let Some(feed) = sinks.feed {
                 feed.publish(full);
             }
+            last_round = round;
 
             let truncated = report.matching_changed.len() > crate::protocol::MAX_DELTA_SLOTS;
             let delta = std::sync::Arc::new(RoundDelta {
@@ -334,13 +402,32 @@ impl RoundScheduler {
                     .collect(),
                 truncated,
             });
-            let mut s = self.state.lock().expect("scheduler poisoned");
+            let mut s = lock_unpoisoned(&self.state);
             s.committed_round = round;
             if let Some(slot) = s.slots.get_mut(&round) {
                 slot.result = Some(delta);
             }
             self.commit_wake.notify_all();
         }
+    }
+}
+
+/// Drop guard armed for the lifetime of [`RoundScheduler::drive`]: whether
+/// the engine thread returns normally, fail-stops on a WAL error, or panics
+/// inside `apply_batch`, the scheduler is marked shut down + exited and both
+/// condvars are broadcast, so every writer blocked on a round (and every
+/// submitter yet to arrive) gets [`ShuttingDown`] instead of hanging on a
+/// condvar no one will ever signal again.
+struct EngineExitGuard<'a>(&'a RoundScheduler);
+
+impl Drop for EngineExitGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = lock_unpoisoned(&self.0.state);
+        s.shutdown = true;
+        s.engine_exited = true;
+        drop(s);
+        self.0.engine_wake.notify_all();
+        self.0.commit_wake.notify_all();
     }
 }
 
@@ -370,6 +457,7 @@ mod tests {
                     cell: &cell,
                     record: None,
                     feed: None,
+                    wal: None,
                 },
             )
         })
@@ -496,5 +584,46 @@ mod tests {
             scheduler.submit(edges(&[(0, 1)]), vec![]),
             Err(ShuttingDown)
         );
+    }
+
+    #[test]
+    fn engine_panic_wakes_blocked_writers_with_shutting_down() {
+        let scheduler = Arc::new(RoundScheduler::new(RoundConfig {
+            max_batch_updates: 100,
+            max_delay: Duration::from_millis(1),
+        }));
+        let cell = fresh_cell(10, 5);
+        let engine = spawn_engine(&scheduler, &cell, 10, 5);
+        // An out-of-range edge: `serve.rs` validates vertex ids at the
+        // connection layer, the raw scheduler does not, so this batch panics
+        // `apply_batch` on the engine thread mid-`drive`. Before the exit
+        // guard existed this writer hung forever on the commit condvar.
+        let res = scheduler.submit(edges(&[(1_000, 1_001)]), vec![]);
+        assert_eq!(res, Err(ShuttingDown));
+        assert!(engine.join().is_err(), "engine thread must have panicked");
+        // Later submitters are refused rather than staged into a dead queue.
+        assert_eq!(
+            scheduler.submit(edges(&[(0, 1)]), vec![]),
+            Err(ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn base_round_constructor_resumes_numbering() {
+        let scheduler = Arc::new(RoundScheduler::with_base_round(
+            RoundConfig {
+                max_batch_updates: 100,
+                max_delay: Duration::from_millis(1),
+            },
+            41,
+        ));
+        assert_eq!(scheduler.committed_round(), 41);
+        let cell = fresh_cell(10, 3);
+        let engine = spawn_engine(&scheduler, &cell, 10, 3);
+        let delta = scheduler.submit(edges(&[(0, 1)]), vec![]).unwrap();
+        assert_eq!(delta.round, 42);
+        scheduler.shutdown();
+        engine.join().unwrap();
+        assert_eq!(scheduler.committed_round(), 42);
     }
 }

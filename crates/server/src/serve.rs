@@ -29,11 +29,12 @@ use greedy_graph::edge_list::Edge;
 use crate::feed::{DeltaFeed, FullDelta};
 use crate::protocol::{read_frame, write_frame, Request, Response, StatsReply};
 use crate::replica::{snapshot_chunks, ReplicaState, SnapshotAssembler};
-use crate::rounds::{CommitSinks, CommittedRound, RoundConfig, RoundScheduler};
+use crate::rounds::{lock_unpoisoned, CommitSinks, CommittedRound, RoundConfig, RoundScheduler};
 use crate::snapshot::{PublishedSnapshot, SnapshotCell};
+use crate::wal::{self, Wal, WalConfig};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Round flush policy (see [`RoundConfig`]).
     pub rounds: RoundConfig,
@@ -46,6 +47,13 @@ pub struct ServerConfig {
     /// subscriber reconnecting with a base at most this many rounds old is
     /// caught up by replay instead of a full snapshot stream.
     pub delta_ring: usize,
+    /// Write-ahead log (see [`WalConfig`]). `None` serves memory-only, as
+    /// before. `Some`: if the directory already holds a log, the server
+    /// **recovers from it** (checkpoint + replay, byte-verified) and serves
+    /// the recovered state — the engine argument only seeds a brand-new
+    /// directory; either way every committed round is logged before it is
+    /// acked, and a final checkpoint is written on clean shutdown.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +62,7 @@ impl Default for ServerConfig {
             rounds: RoundConfig::default(),
             record_rounds: false,
             delta_ring: 64,
+            wal: None,
         }
     }
 }
@@ -75,6 +84,12 @@ struct Shared {
     /// the rest are joined on exit.
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
     record: Option<Mutex<Vec<CommittedRound>>>,
+    /// The write-ahead log, locked by the engine thread on every commit (and
+    /// by nobody else while the server runs).
+    wal: Option<Mutex<Wal>>,
+    /// Highest round whose log record is durable (always 0 without a WAL);
+    /// shared with the stats path as [`StatsReply::durable_round`].
+    durable: Arc<AtomicU64>,
 }
 
 impl Shared {
@@ -121,59 +136,64 @@ impl ServerHandle {
         self.shared.scheduler.committed_round()
     }
 
+    /// Highest round whose WAL record is durable on disk (0 when serving
+    /// without a WAL).
+    pub fn durable_round(&self) -> u64 {
+        self.shared.durable.load(Ordering::SeqCst)
+    }
+
     /// Drains staged updates into a final round, stops accepting, closes
     /// every connection, joins every thread, and returns the final engine
     /// plus the recorded rounds.
     pub fn shutdown(mut self) -> ShutdownReport {
-        let engine = self.join_all().expect("server threads already joined");
+        let engine = self
+            .join_all()
+            .expect("server threads already joined")
+            .expect("engine thread panicked; no final engine to report");
         let rounds = match &self.shared.record {
-            Some(rec) => std::mem::take(&mut *rec.lock().expect("round record poisoned")),
+            Some(rec) => std::mem::take(&mut *lock_unpoisoned(rec)),
             None => Vec::new(),
         };
         ShutdownReport { engine, rounds }
     }
 
-    /// The shutdown/join sequence; returns the engine on the first call.
-    fn join_all(&mut self) -> Option<Engine> {
+    /// The shutdown/join sequence; `Some` on the first call. The inner
+    /// option is `None` only if the engine thread itself panicked — every
+    /// other thread is still drained and joined (a panicked connection
+    /// worker or a poisoned registry must not turn shutdown into a cascade
+    /// panic; the panic already surfaced on the thread that hit it).
+    fn join_all(&mut self) -> Option<Option<Engine>> {
+        if self.engine_thread.is_none() && self.accept_thread.is_none() {
+            return None;
+        }
         self.shared.trigger_shutdown();
         // The engine thread exits only after committing all staged updates,
         // so writers blocked in submit() get their answers first.
-        let engine = self
-            .engine_thread
-            .take()
-            .map(|h| h.join().expect("engine thread panicked"));
+        let engine = self.engine_thread.take().map(|h| h.join().ok());
         // Close the feed only *after* the engine thread is gone: every
         // committed round's delta is already queued, and queued messages
         // survive the senders being dropped, so subscribers flush the full
         // stream before their workers see the disconnect and exit.
         self.shared.feed.close();
         if let Some(h) = self.accept_thread.take() {
-            h.join().expect("accept thread panicked");
+            let _ = h.join();
         }
         // Unblock idle connection readers. Read-side only: a worker that
         // just got its round's result may still be writing the response,
         // and that write must reach the client before the worker exits.
-        for (_, s) in self
-            .shared
-            .conn_streams
-            .lock()
-            .expect("stream registry poisoned")
-            .drain()
-        {
+        for (_, s) in lock_unpoisoned(&self.shared.conn_streams).drain() {
             let _ = s.shutdown(Shutdown::Read);
         }
-        // Reap the workers (each closes its own socket on the way out).
-        let workers: Vec<JoinHandle<()>> = self
-            .shared
-            .conn_handles
-            .lock()
-            .expect("worker registry poisoned")
+        // Reap the workers (each closes its own socket on the way out). A
+        // worker that panicked is reaped like any other; its `Err` is
+        // deliberately dropped rather than re-thrown into the shutdown path.
+        let workers: Vec<JoinHandle<()>> = lock_unpoisoned(&self.shared.conn_handles)
             .drain(..)
             .collect();
         for h in workers {
-            h.join().expect("connection thread panicked");
+            let _ = h.join();
         }
-        engine
+        Some(engine.flatten())
     }
 }
 
@@ -197,14 +217,33 @@ pub fn serve_on<A: ToSocketAddrs>(
     addr: A,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    // Recover-or-create the WAL before anything is published: a directory
+    // with a log in it is authoritative over the engine argument.
+    let (engine, base_round, wal_writer) = match &config.wal {
+        None => (engine, 0, None),
+        Some(wal_cfg) => match wal::recover(&wal_cfg.dir)? {
+            Some(recovered) => {
+                let writer = Wal::reopen(wal_cfg.clone(), &recovered)?;
+                (recovered.engine, recovered.round, Some(writer))
+            }
+            None => {
+                let writer = Wal::create(wal_cfg.clone(), &engine, 0)?;
+                (engine, 0, Some(writer))
+            }
+        },
+    };
+    let durable = wal_writer
+        .as_ref()
+        .map(|w| w.durable_handle())
+        .unwrap_or_default();
     let shared = Arc::new(Shared {
-        scheduler: RoundScheduler::new(config.rounds),
+        scheduler: RoundScheduler::with_base_round(config.rounds, base_round),
         cell: SnapshotCell::new(PublishedSnapshot {
-            round: 0,
+            round: base_round,
             state: engine.server_snapshot(),
             stats: *engine.stats(),
         }),
-        feed: DeltaFeed::new(config.delta_ring),
+        feed: DeltaFeed::with_base_round(config.delta_ring, base_round),
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
         num_vertices: engine.num_vertices(),
@@ -212,6 +251,8 @@ pub fn serve_on<A: ToSocketAddrs>(
         conn_streams: Mutex::new(HashMap::new()),
         conn_handles: Mutex::new(Vec::new()),
         record: config.record_rounds.then(|| Mutex::new(Vec::new())),
+        wal: wal_writer.map(Mutex::new),
+        durable,
     });
 
     let engine_thread = {
@@ -225,6 +266,7 @@ pub fn serve_on<A: ToSocketAddrs>(
                         cell: &shared.cell,
                         record: shared.record.as_ref(),
                         feed: Some(&shared.feed),
+                        wal: shared.wal.as_ref(),
                     },
                 )
             })?
@@ -295,10 +337,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // Reap workers that already finished, so the registries stay
         // proportional to *live* connections.
         {
-            let mut handles = shared
-                .conn_handles
-                .lock()
-                .expect("worker registry poisoned");
+            let mut handles = lock_unpoisoned(&shared.conn_handles);
             let (done, live): (Vec<_>, Vec<_>) = handles.drain(..).partition(|h| h.is_finished());
             *handles = live;
             for h in done {
@@ -313,11 +352,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // at shutdown.
         match stream.try_clone() {
             Ok(clone) => {
-                shared
-                    .conn_streams
-                    .lock()
-                    .expect("stream registry poisoned")
-                    .insert(conn_id, clone);
+                lock_unpoisoned(&shared.conn_streams).insert(conn_id, clone);
             }
             Err(_) => continue,
         }
@@ -328,17 +363,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 .spawn(move || handle_connection(conn_id, stream, &shared))
         };
         match worker {
-            Ok(handle) => shared
-                .conn_handles
-                .lock()
-                .expect("worker registry poisoned")
-                .push(handle),
+            Ok(handle) => lock_unpoisoned(&shared.conn_handles).push(handle),
             Err(_) => {
-                shared
-                    .conn_streams
-                    .lock()
-                    .expect("stream registry poisoned")
-                    .remove(&conn_id);
+                lock_unpoisoned(&shared.conn_streams).remove(&conn_id);
             }
         }
     }
@@ -351,11 +378,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 fn handle_connection(conn_id: u64, stream: TcpStream, shared: &Shared) {
     connection_loop(&stream, shared);
     let _ = stream.shutdown(Shutdown::Both);
-    shared
-        .conn_streams
-        .lock()
-        .expect("stream registry poisoned")
-        .remove(&conn_id);
+    lock_unpoisoned(&shared.conn_streams).remove(&conn_id);
 }
 
 fn connection_loop(stream: &TcpStream, shared: &Shared) {
@@ -537,6 +560,7 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
             let snap = shared.cell.load();
             Response::Stats(StatsReply {
                 round: snap.round,
+                durable_round: shared.durable.load(Ordering::SeqCst),
                 num_vertices: snap.state.num_vertices() as u64,
                 num_edges: snap.state.num_edges() as u64,
                 mis_size: snap.state.mis_size() as u64,
