@@ -10,7 +10,8 @@
 //! * round throughput (committed rounds/s) and update throughput (submitted
 //!   and effective updates/s);
 //! * query latency percentiles (p50/p90/p99), measured per call at the
-//!   reader;
+//!   reader and folded into a shared lock-free [`greedy_obs::Histogram`]
+//!   (no per-call `Vec` growth in the timing loop);
 //! * delta-subscription throughput (rounds folded/s) and resync count;
 //! * a coherence audit: the final served state must be byte-identical to a
 //!   from-scratch greedy engine on the final edge set (always); every
@@ -32,6 +33,21 @@
 //! `server_wal_{sync,off}_commit_p99_us`), next to the sort/engine
 //! trajectory entries `run_all --quick` writes; re-runs replace the
 //! previous entries instead of accumulating.
+//!
+//! `--metrics` adds the server-side observability report after the load
+//! phase: it scrapes the registry twice — once over TCP via
+//! `Request::Metrics`, once in-process via `ServerHandle::metrics_text()` —
+//! and exits nonzero unless the two are byte-identical; prints the
+//! per-stage commit-latency percentile table (stage wait / apply / repair /
+//! wal / publish / feed), the repair-rounds histogram with the paper's
+//! `log2(n)^2` depth bound for comparison, and validates that every metric
+//! that cannot be zero after the load (committed rounds, query samples,
+//! WAL appends when serving durably) is in fact nonzero — exiting nonzero
+//! otherwise. The full exposition is dumped to `results/metrics_quick.txt`
+//! and `server_obs_{on,off}_rounds_per_s` + `server_obs_overhead_pct` rows
+//! (registry enabled vs disabled, same load) are merged into
+//! `results/BENCH_quick.json`. Build with `--features obs-off` to compare
+//! against recording compiled out entirely rather than switched off.
 //!
 //! `--crash-recover` runs a different job entirely: it spawns this binary
 //! as a child that serves over a write-ahead log and `abort()`s mid-stream,
@@ -57,6 +73,7 @@ use greedy_engine::prelude::{EdgeBatch, Engine, ServerSnapshot};
 use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::Edge;
 use greedy_graph::gen::random::random_graph;
+use greedy_obs::Histogram;
 use greedy_prims::random::hash64;
 use greedy_server::prelude::*;
 use greedy_server::wal;
@@ -95,6 +112,12 @@ struct LoadConfig {
     /// Measure WAL commit cost (rounds/s + commit p99) with per-round fsync
     /// vs fsync off, and merge `server_wal_*` rows into BENCH_quick.json.
     wal_bench: bool,
+    /// Server-side observability report: byte-compare the TCP and in-process
+    /// expositions, print per-stage commit percentiles and the repair-rounds
+    /// vs `log2(n)^2` check, validate zero-where-impossible metrics, dump
+    /// the exposition to `results/metrics_quick.txt`, and measure the
+    /// registry's overhead (`server_obs_*` rows).
+    metrics_report: bool,
 }
 
 impl Default for LoadConfig {
@@ -117,6 +140,7 @@ impl Default for LoadConfig {
             crash_recover: false,
             crash_child: false,
             wal_bench: false,
+            metrics_report: false,
         }
     }
 }
@@ -174,6 +198,7 @@ fn parse_args() -> LoadConfig {
             "--crash-recover" => cfg.crash_recover = true,
             "--crash-child" => cfg.crash_child = true,
             "--wal-bench" => cfg.wal_bench = true,
+            "--metrics" => cfg.metrics_report = true,
             // CI smoke mode: tiny graph, short run, full per-round audit —
             // finishes in a couple of seconds.
             "--quick" => {
@@ -192,7 +217,8 @@ fn parse_args() -> LoadConfig {
                 eprintln!(
                     "flags: --scale tiny|small|medium --writers N --readers M --subscribers K \
                      --batch B --duration-secs S --seed X --reader-pace-us U --verify \
-                     --publish-bench --data-dir DIR --crash-recover --wal-bench --quick"
+                     --publish-bench --data-dir DIR --crash-recover --wal-bench --metrics \
+                     --quick"
                 );
                 std::process::exit(0);
             }
@@ -291,14 +317,19 @@ fn main() {
         .collect();
 
     // Readers: batched membership queries against the published snapshot,
-    // individually timed.
+    // individually timed into one shared lock-free histogram — constant
+    // memory however long the run, and the percentiles come from the full
+    // sample population instead of a sorted sample vector. (Built with
+    // `--features obs-off` the histogram is compiled out and the latency
+    // rows read 0 — that build exists to measure the no-recording baseline.)
+    let query_hist = Arc::new(Histogram::new());
     let readers: Vec<_> = (0..cfg.readers)
         .map(|r| {
             let stop = stop.clone();
+            let hist = query_hist.clone();
             let (n, seed, pace) = (cfg.n as u64, cfg.seed, cfg.reader_pace);
-            thread::spawn(move || -> Vec<u64> {
+            thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("reader connect");
-                let mut latencies_us = Vec::new();
                 let mut k = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let vs: Vec<u32> = (0..32)
@@ -310,13 +341,12 @@ fn main() {
                     } else {
                         client.query_matched(&vs).expect("reader query");
                     }
-                    latencies_us.push(t.elapsed().as_micros() as u64);
+                    hist.record_duration_us(t.elapsed());
                     k += 1;
                     if !pace.is_zero() {
                         thread::sleep(pace);
                     }
                 }
-                latencies_us
             })
         })
         .collect();
@@ -359,11 +389,17 @@ fn main() {
         submitted += s;
     }
     let elapsed = started.elapsed();
-    let mut latencies: Vec<u64> = Vec::new();
     for r in readers {
-        latencies.extend(r.join().expect("reader panicked"));
+        r.join().expect("reader panicked");
     }
-    latencies.sort_unstable();
+    let queries = query_hist.snapshot();
+
+    // The observability report scrapes the live server, so it must run
+    // after the load quiesces (no writer/reader traffic left to race the
+    // byte-for-byte comparison) and before shutdown tears the socket down.
+    if cfg.metrics_report {
+        metrics_report(&handle, addr, &cfg);
+    }
 
     let report = handle.shutdown();
     // Subscriber streams end when shutdown closes the feed, so join them
@@ -472,12 +508,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        latencies[((latencies.len() - 1) as f64 * p).round() as usize]
-    };
+    let pct = |p: f64| -> u64 { queries.quantile(p) };
     let rounds_per_s = rounds as f64 / secs;
     let submitted_per_s = submitted as f64 / secs;
     let effective_per_s = effective as f64 / secs;
@@ -489,7 +520,7 @@ fn main() {
     );
     eprintln!(
         "   queries            {} (p50 {} us, p90 {} us, p99 {} us)",
-        latencies.len(),
+        queries.count,
         pct(0.50),
         pct(0.90),
         pct(0.99)
@@ -621,6 +652,236 @@ fn main() {
             wal_rows.len()
         );
     }
+
+    if cfg.metrics_report {
+        let obs_rows = obs_overhead_bench(cfg.seed);
+        merge_quick_entries(
+            Path::new("results/BENCH_quick.json"),
+            cfg.seed,
+            &["server_obs_"],
+            "server_obs",
+            &obs_rows,
+        );
+        eprintln!(
+            "   merged {} server_obs_* entries into results/BENCH_quick.json",
+            obs_rows.len()
+        );
+    }
+}
+
+/// The `--metrics` report against the still-running (but quiesced) server:
+/// byte-compare the two exposition paths, print the per-stage commit table
+/// and the repair-rounds-vs-`log2(n)^2` depth check, validate that metrics
+/// which cannot be zero after this load are nonzero, and dump the full
+/// exposition to `results/metrics_quick.txt`. Any failed check exits 1.
+fn metrics_report(handle: &ServerHandle, addr: std::net::SocketAddr, cfg: &LoadConfig) {
+    eprintln!("== metrics report");
+
+    // Acceptance check 1: the wire frame and the in-process dump must be the
+    // same bytes. The server is quiesced and scraping touches no instrument,
+    // so any difference is a real divergence between the two paths.
+    let mut client = Client::connect(addr).expect("metrics connect");
+    let over_wire = client.metrics().expect("metrics request");
+    let in_process = handle.metrics_text();
+    if over_wire != in_process {
+        eprintln!(
+            "   METRICS FAILED: TCP exposition ({} bytes) != in-process exposition ({} bytes)",
+            over_wire.len(),
+            in_process.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "   wire == in-process: {} bytes, byte-identical",
+        over_wire.len()
+    );
+
+    // Dump the exposition for the CI artifact.
+    let _ = std::fs::create_dir_all("results");
+    let dump = Path::new("results/metrics_quick.txt");
+    std::fs::write(dump, &in_process).expect("write metrics dump");
+    eprintln!("   exposition dumped to {}", dump.display());
+
+    if !greedy_obs::ENABLED {
+        eprintln!("   (recording compiled out via obs-off; skipping content checks)");
+        return;
+    }
+    let metrics = handle
+        .metrics()
+        .expect("--metrics needs the server registry enabled");
+
+    // Per-stage commit-latency percentile table, one row per pipeline stage.
+    let registry = metrics.registry();
+    eprintln!("   commit pipeline (us per round):");
+    eprintln!(
+        "     {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "stage", "p50", "p90", "p99", "max"
+    );
+    for (label, name) in [
+        ("stage-wait", "server_commit_stage_wait_us"),
+        ("apply", "server_commit_apply_us"),
+        ("repair", "server_commit_repair_us"),
+        ("wal", "server_commit_wal_us"),
+        ("publish", "server_commit_publish_us"),
+        ("feed", "server_commit_feed_us"),
+        ("total", "server_commit_total_us"),
+    ] {
+        let s = registry.histogram(name).snapshot();
+        eprintln!(
+            "     {:<10} {:>8} {:>8} {:>8} {:>8}",
+            label,
+            s.quantile(0.50),
+            s.quantile(0.90),
+            s.quantile(0.99),
+            s.max
+        );
+    }
+
+    // The paper's depth observable: greedy MIS repair rounds per batch are
+    // O(log^2 n) w.h.p. (Blelloch–Fineman–Shun), so the histogram's maximum
+    // should sit well under log2(n)^2.
+    let depth = metrics.repair_rounds_mis().snapshot();
+    let bound = (cfg.n as f64).log2().powi(2);
+    eprintln!("   repair rounds per batch (MIS):");
+    for (lo, hi, count) in depth.nonzero_buckets() {
+        if lo == hi {
+            eprintln!("     {lo:>6}        x{count}");
+        } else {
+            eprintln!("     {lo:>6}-{hi:<6} x{count}");
+        }
+    }
+    eprintln!(
+        "   depth check: observed max {} vs log2(n)^2 = {:.0} (n={}, ratio {:.3})",
+        depth.max,
+        bound,
+        cfg.n,
+        depth.max as f64 / bound
+    );
+    if (depth.max as f64) > bound {
+        eprintln!(
+            "   METRICS FAILED: repair rounds exceeded the paper's O(log^2 n) scale \
+             ({} > {:.0})",
+            depth.max, bound
+        );
+        std::process::exit(1);
+    }
+
+    // Zero-where-impossible validation. The load phase committed rounds and
+    // (with readers) answered queries, so these must all have samples.
+    let value = |name: &str| -> u64 {
+        in_process
+            .lines()
+            .find_map(|line| {
+                let (n, v) = line.split_once(' ')?;
+                (n == name).then(|| v.parse().ok())?
+            })
+            .unwrap_or_else(|| panic!("metric {name} missing from the exposition"))
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let rounds = value("server_rounds_committed_total");
+    let mut require = |name: &str, why: &str| {
+        if value(name) == 0 {
+            failures.push(format!("{name} is 0 but {why}"));
+        }
+    };
+    require("server_rounds_committed_total", "writers committed rounds");
+    require("server_commit_total_us_count", "rounds were committed");
+    require("server_commit_apply_us_count", "rounds were committed");
+    require("server_repair_rounds_mis_count", "rounds were committed");
+    require("server_updates_effective_total", "writers inserted edges");
+    require("server_connections_total", "clients connected");
+    if cfg.readers > 0 {
+        require("server_queries_total", "readers issued queries");
+        require("server_query_us_count", "queries were recorded");
+        require("server_snapshot_age_us_count", "queries were recorded");
+    }
+    if cfg.subscribers > 0 {
+        require("server_feed_resyncs_total", "fresh subscribers were seeded");
+    }
+    if cfg.data_dir.is_some() {
+        require("server_wal_appends_total", "rounds were logged to the WAL");
+    }
+    if value("server_commit_total_us_count") != rounds {
+        failures.push(format!(
+            "server_commit_total_us_count {} != server_rounds_committed_total {rounds}",
+            value("server_commit_total_us_count")
+        ));
+    }
+    if failures.is_empty() {
+        eprintln!("   validation: all required metrics present and nonzero");
+    } else {
+        for f in &failures {
+            eprintln!("   METRICS FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// What does keeping the registry cost? The same single-writer load served
+/// twice — once with metrics on, once off — reporting committed rounds/s
+/// for each and the relative gap. Recording is a handful of relaxed atomics
+/// per round, so the gap should be noise; the row exists so a regression
+/// that makes it real is visible in the trajectory. (Build with `--features
+/// obs-off` to compare against recording compiled out rather than switched
+/// off at runtime.)
+fn obs_overhead_bench(seed: u64) -> Vec<String> {
+    const N: usize = 10_000;
+    const M: usize = 40_000;
+    let run = |metrics: bool| -> f64 {
+        let base = random_graph(N, M, seed ^ 0x0B5);
+        let handle = serve(
+            Engine::from_graph(&base, seed),
+            ServerConfig {
+                metrics,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("obs bench serve");
+        let mut client = Client::connect(handle.addr()).expect("obs bench connect");
+        let mut prev: Vec<(u32, u32)> = Vec::new();
+        let mut k = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < Duration::from_millis(700) {
+            if !prev.is_empty() && k % 2 == 1 {
+                let batch = std::mem::take(&mut prev);
+                client.delete_edges(&batch).expect("obs bench delete");
+            } else {
+                let fresh: Vec<(u32, u32)> = (0..64u64)
+                    .map(|i| {
+                        let key = k * 64 + i;
+                        (
+                            (hash64(seed ^ 0x0B50, 2 * key) % N as u64) as u32,
+                            (hash64(seed ^ 0x0B50, 2 * key + 1) % N as u64) as u32,
+                        )
+                    })
+                    .collect();
+                client.insert_edges(&fresh).expect("obs bench insert");
+                prev = fresh;
+            }
+            k += 1;
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let report = handle.shutdown();
+        report.engine.stats().batches as f64 / elapsed
+    };
+    let on_rps = run(true);
+    let off_rps = run(false);
+    let overhead_pct = (1.0 - on_rps / off_rps.max(1e-9)) * 100.0;
+    eprintln!(
+        "   obs overhead       registry on {on_rps:.0} rounds/s vs off {off_rps:.0} rounds/s \
+         ({overhead_pct:+.1}%)"
+    );
+    if overhead_pct > 10.0 {
+        // Warning only: a 700 ms A/B on a loaded CI box is too noisy for a
+        // hard gate, but the trajectory row makes a persistent regression
+        // visible.
+        eprintln!("   WARNING: metrics overhead above 10% — check the trajectory");
+    }
+    vec![
+        quick_row("server_obs_on_rounds_per_s", 1, N, M, on_rps, "rounds/s"),
+        quick_row("server_obs_off_rounds_per_s", 1, N, M, off_rps, "rounds/s"),
+        quick_row("server_obs_overhead_pct", 1, N, M, overhead_pct, "%"),
+    ]
 }
 
 /// WAL commit-cost microbenchmark: the same single-writer load served twice

@@ -146,6 +146,9 @@ pub struct RepairStats {
     /// Decision flips applied (size of the gross change stream, not the net
     /// changed set).
     pub flips: u64,
+    /// Largest single-round ready set — the peak per-round work (parallelism
+    /// available) of this repair. `decided / rounds` gives the mean.
+    pub max_frontier: u64,
 }
 
 /// Reusable working memory for [`repair_fixed_point_with_scratch`].
@@ -343,6 +346,7 @@ pub fn repair_fixed_point_with_scratch<D: ConflictDag>(
             .map(|&v| dag_ref.decide(v, accepted_ref))
             .collect();
         stats.decided += ready.len() as u64;
+        stats.max_frontier = stats.max_frontier.max(ready.len() as u64);
 
         // Retire the ready items: clear their flags and pending-index
         // entries first (ready items never conflict with one another, but

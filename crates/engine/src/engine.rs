@@ -115,6 +115,24 @@ pub struct EngineStats {
     pub matching_redecisions: u64,
 }
 
+/// Wall-clock breakdown of the most recent [`Engine::apply_batch`] call,
+/// in whole microseconds.
+///
+/// Kept out of [`BatchReport`] on purpose: reports are equality-compared in
+/// determinism tests and timings are inherently nondeterministic. Read the
+/// breakdown through [`Engine::last_batch_timings`] instead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchTimings {
+    /// Structural graph update (deletions + insertions).
+    pub graph_us: u64,
+    /// Matching repair to the fixed point.
+    pub matching_repair_us: u64,
+    /// MIS seed computation + repair to the fixed point.
+    pub mis_repair_us: u64,
+    /// Copy-on-write page repack of the serving export.
+    pub page_repack_us: u64,
+}
+
 /// A consistent view of the engine's state after some batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
@@ -152,6 +170,9 @@ pub struct Engine {
     /// Pages the most recent batch repacked (MIS + partner), for tests and
     /// benches asserting publication really is O(pages touched).
     last_publication_pages: usize,
+    /// Wall-clock breakdown of the most recent batch (not in the report —
+    /// see [`BatchTimings`]).
+    last_timings: BatchTimings,
     stats: EngineStats,
 }
 
@@ -200,6 +221,7 @@ impl Engine {
             mis_size,
             serving,
             last_publication_pages: 0,
+            last_timings: BatchTimings::default(),
             stats,
         }
     }
@@ -210,10 +232,12 @@ impl Engine {
     /// # Panics
     /// Panics if an endpoint is out of range for the engine's vertex set.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchReport {
+        let t0 = std::time::Instant::now();
         // Graph first: deletions, then insertions (batch semantics). Each
         // effective update comes back with its stable slot id.
         let deleted = self.graph.delete_edges(&batch.deletions);
         let inserted = self.graph.insert_edges(&batch.insertions);
+        let t_graph = std::time::Instant::now();
 
         // Matching repair reads the pre-repair matched state of the deleted
         // slots, so it runs directly off the effective lists.
@@ -224,6 +248,7 @@ impl Engine {
             &inserted,
             &mut self.scratch,
         );
+        let t_matching = std::time::Instant::now();
 
         // MIS dirty frontier: endpoints of effective changes whose decision
         // can actually move under the greedy rule at batch entry. An edge
@@ -258,6 +283,7 @@ impl Engine {
             &seeds,
             &mut self.scratch,
         );
+        let t_mis = std::time::Instant::now();
 
         self.stats.batches += 1;
         self.stats.edges_inserted += inserted.len() as u64;
@@ -297,6 +323,12 @@ impl Engine {
         self.serving
             .set_counts(self.graph.num_edges(), self.mis_size, self.matching.size());
         self.last_publication_pages = mis_pages.len() + partner_pages.len();
+        self.last_timings = BatchTimings {
+            graph_us: t_graph.duration_since(t0).as_micros() as u64,
+            matching_repair_us: t_matching.duration_since(t_graph).as_micros() as u64,
+            mis_repair_us: t_mis.duration_since(t_matching).as_micros() as u64,
+            page_repack_us: t_mis.elapsed().as_micros() as u64,
+        };
 
         BatchReport {
             edges_inserted: inserted.len(),
@@ -344,6 +376,13 @@ impl Engine {
     /// page span and never to `n`.
     pub fn last_publication_pages(&self) -> usize {
         self.last_publication_pages
+    }
+
+    /// Wall-clock breakdown of the most recent [`Engine::apply_batch`] call
+    /// (all zeros before the first batch). Nondeterministic by nature, hence
+    /// separate from [`BatchReport`].
+    pub fn last_batch_timings(&self) -> BatchTimings {
+        self.last_timings
     }
 
     /// Current MIS size (O(1), maintained by flips).

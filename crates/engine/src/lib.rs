@@ -72,7 +72,7 @@ pub mod snapshot;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::dyn_graph::{DynGraph, SlotUpdate};
-    pub use crate::engine::{BatchReport, EdgeBatch, Engine, EngineStats, Snapshot};
+    pub use crate::engine::{BatchReport, BatchTimings, EdgeBatch, Engine, EngineStats, Snapshot};
     pub use crate::matching::MatchDelta;
     pub use crate::priority::{edge_permutation, edge_priority, vertex_permutation};
     pub use crate::snapshot::ServerSnapshot;

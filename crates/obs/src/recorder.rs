@@ -1,0 +1,90 @@
+//! Flight recorder: a bounded ring of the last K structured records.
+//!
+//! The server pushes one per-round commit timeline per committed round; the
+//! ring keeps the most recent K so a post-mortem (or `serve_load --metrics`)
+//! can see exactly where the last few rounds spent their time without
+//! unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-capacity ring of the most recent records.
+#[derive(Debug)]
+pub struct FlightRecorder<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// A recorder keeping the last `capacity` records (capacity 0 keeps
+    /// none and makes `push` a no-op).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Appends a record, evicting the oldest once full.
+    pub fn push(&self, record: T) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn recent(&self) -> Vec<T> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_last_k_in_order() {
+        let r = FlightRecorder::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.recent(), vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let r = FlightRecorder::new(0);
+        r.push(1);
+        assert!(r.recent().is_empty());
+    }
+}

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use greedy_engine::prelude::BatchReport;
+use greedy_obs::{Counter, Gauge};
 
 use crate::protocol::{
     DeltaFrame, MatchFlip, MAX_DELTA_MATCH_FLIPS, MAX_DELTA_MIS_FLIPS, SUBSCRIBE_FRESH,
@@ -102,6 +103,22 @@ struct SubscriberSlot {
     lagging: Arc<AtomicBool>,
 }
 
+/// Observability handles attached by [`DeltaFeed::instrument`]. Cloned out
+/// of the lock before fan-out, so the publish path's retain closure records
+/// without re-entering the feed state.
+#[derive(Clone)]
+struct FeedInstruments {
+    /// Currently registered subscribers (inc on subscribe, dec on prune,
+    /// reset on close — a just-disconnected subscriber counts until the next
+    /// publish prunes it, mirroring [`DeltaFeed::subscriber_count`]).
+    subscribers: Arc<Gauge>,
+    /// Deltas dropped on full subscriber channels (each drop forces that
+    /// subscriber through a snapshot resync).
+    lagged: Arc<Counter>,
+    /// Subscribers pruned after their receiver disconnected.
+    pruned: Arc<Counter>,
+}
+
 struct FeedInner {
     /// The last `ring_capacity` deltas, oldest first; rounds are contiguous
     /// because the scheduler commits them in sequence.
@@ -110,6 +127,7 @@ struct FeedInner {
     last_round: u64,
     subscribers: Vec<SubscriberSlot>,
     closed: bool,
+    instruments: Option<FeedInstruments>,
 }
 
 /// What [`DeltaFeed::subscribe_from`] hands a forwarder.
@@ -151,6 +169,7 @@ impl DeltaFeed {
                 last_round: base_round,
                 subscribers: Vec::new(),
                 closed: false,
+                instruments: None,
             }),
             ring_capacity,
         }
@@ -159,6 +178,16 @@ impl DeltaFeed {
     /// Rounds the ring retains.
     pub fn ring_capacity(&self) -> usize {
         self.ring_capacity
+    }
+
+    /// Attaches fan-out observability: the subscriber gauge plus the lagged
+    /// and pruned counters (see [`crate::metrics::ServerMetrics`]).
+    pub fn instrument(&self, subscribers: Arc<Gauge>, lagged: Arc<Counter>, pruned: Arc<Counter>) {
+        crate::rounds::lock_unpoisoned(&self.inner).instruments = Some(FeedInstruments {
+            subscribers,
+            lagged,
+            pruned,
+        });
     }
 
     /// Publishes one committed round: appends to the ring (evicting the
@@ -172,6 +201,7 @@ impl DeltaFeed {
         }
         inner.last_round = delta.round;
         inner.ring.push_back(delta.clone());
+        let instr = inner.instruments.clone();
         inner.subscribers.retain(|sub| {
             match sub.sender.try_send(delta.clone()) {
                 Ok(()) => true,
@@ -179,9 +209,18 @@ impl DeltaFeed {
                     // The delta is dropped for this subscriber; its forwarder
                     // sees the flag (or the round gap) and resyncs.
                     sub.lagging.store(true, Ordering::SeqCst);
+                    if let Some(i) = &instr {
+                        i.lagged.inc();
+                    }
                     true
                 }
-                Err(mpsc::TrySendError::Disconnected(_)) => false,
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    if let Some(i) = &instr {
+                        i.pruned.inc();
+                        i.subscribers.dec();
+                    }
+                    false
+                }
             }
         });
     }
@@ -221,6 +260,9 @@ impl DeltaFeed {
             sender,
             lagging: lagging.clone(),
         });
+        if let Some(i) = &inner.instruments {
+            i.subscribers.inc();
+        }
         Some(Subscription {
             receiver,
             lagging,
@@ -244,6 +286,9 @@ impl DeltaFeed {
         let mut inner = crate::rounds::lock_unpoisoned(&self.inner);
         inner.closed = true;
         inner.subscribers.clear();
+        if let Some(i) = &inner.instruments {
+            i.subscribers.set(0);
+        }
     }
 }
 
@@ -377,6 +422,33 @@ mod tests {
         assert_eq!(sub.receiver.recv().unwrap().round, 2);
         assert!(sub.receiver.recv().is_err(), "closed feed must disconnect");
         assert!(feed.subscribe_from(0).is_none(), "closed feed refuses subs");
+    }
+
+    #[test]
+    fn instruments_track_subscribe_lag_and_prune() {
+        if !greedy_obs::ENABLED {
+            return;
+        }
+        let feed = DeltaFeed::new(4);
+        let gauge = Arc::new(Gauge::new());
+        let lagged = Arc::new(Counter::new());
+        let pruned = Arc::new(Counter::new());
+        feed.instrument(gauge.clone(), lagged.clone(), pruned.clone());
+
+        let sub = feed.subscribe_from(SUBSCRIBE_FRESH).unwrap();
+        assert_eq!(gauge.get(), 1);
+        for r in 1..=(SUBSCRIBER_CHANNEL_DEPTH as u64 + 3) {
+            feed.publish(delta(r));
+        }
+        assert_eq!(lagged.get(), 3, "each dropped delta counts");
+        drop(sub);
+        feed.publish(delta(999));
+        assert_eq!((pruned.get(), gauge.get()), (1, 0));
+
+        let _sub = feed.subscribe_from(SUBSCRIBE_FRESH).unwrap();
+        assert_eq!(gauge.get(), 1);
+        feed.close();
+        assert_eq!(gauge.get(), 0, "close resets the gauge");
     }
 
     #[test]

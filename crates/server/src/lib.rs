@@ -35,6 +35,11 @@
 //!   the round touched.
 //! * [`feed`] — the exact (uncapped) per-round deltas: a replay ring of the
 //!   last K rounds plus non-blocking fan-out to subscribers.
+//! * [`metrics`] — the observability layer over [`greedy_obs`]: per-stage
+//!   commit-latency histograms, repair-round (depth) histograms, read-path
+//!   latency/age, feed fan-out counters, and a flight recorder of the last K
+//!   round timelines; exposed via `ServerHandle::metrics_text()` and the
+//!   `Request::Metrics` wire frame.
 //! * [`replica`] — client-side reconstruction: fold delta frames / assemble
 //!   snapshot streams back into byte-comparable state.
 //! * [`serve`] — the `std::net` front-end (thread-per-connection accept
@@ -65,6 +70,7 @@
 #![forbid(unsafe_code)]
 
 pub mod feed;
+pub mod metrics;
 pub mod protocol;
 pub mod replica;
 pub mod rounds;
@@ -75,6 +81,7 @@ pub mod wal;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::feed::{DeltaFeed, FullDelta};
+    pub use crate::metrics::{RoundTrace, ServerMetrics};
     pub use crate::protocol::{
         DeltaFrame, MatchFlip, Request, Response, RoundDelta, SnapshotChunk, StatsReply,
     };

@@ -80,6 +80,9 @@ pub enum Request {
     QueryMatched(Vec<u32>),
     /// Server/engine counters.
     Stats,
+    /// The full metrics registry as a Prometheus-style text exposition —
+    /// byte-for-byte what `ServerHandle::metrics_text()` returns.
+    Metrics,
     /// Ask the server to shut down (staged updates are still committed).
     Shutdown,
     /// Turn this connection into a push-style delta feed. `from` is the
@@ -212,6 +215,108 @@ pub struct StatsReply {
     pub edges_inserted: u64,
     /// Cumulative effective edge deletions.
     pub edges_deleted: u64,
+    /// Currently registered delta-feed subscribers.
+    pub subscribers: u64,
+    /// Full-snapshot resyncs served to subscribers (0 when the server runs
+    /// with metrics disabled).
+    pub resyncs: u64,
+    /// p50 of whole-round commit latency in µs, from the server's metrics
+    /// histograms (0 with metrics disabled or before the first round).
+    pub commit_p50_us: u64,
+    /// p99 of whole-round commit latency in µs (same caveats).
+    pub commit_p99_us: u64,
+}
+
+/// Wire version of the [`StatsReply`] body: a tagged field block (version
+/// byte, field count, then `u8` field id + `u64` value per field). Fields
+/// the decoder does not know are skipped, so adding one is no longer a
+/// protocol break. The block rides response tag 10; the pre-versioning
+/// fixed 9×`u64` layout keeps its old tag 4 as a decode-only alias — a
+/// separate tag, because a field block truncated to exactly 72 bytes would
+/// otherwise be indistinguishable from a complete legacy body.
+pub const STATS_VERSION: u8 = 2;
+
+/// Field ids of the [`StatsReply`] wire block, in `(id, value)` order. Ids
+/// are append-only: never reuse or renumber one.
+const STATS_FIELDS: usize = 13;
+
+impl StatsReply {
+    /// Field block `(id, value)` pairs in encode order.
+    fn fields(&self) -> [(u8, u64); STATS_FIELDS] {
+        [
+            (1, self.round),
+            (2, self.durable_round),
+            (3, self.num_vertices),
+            (4, self.num_edges),
+            (5, self.mis_size),
+            (6, self.matching_size),
+            (7, self.batches),
+            (8, self.edges_inserted),
+            (9, self.edges_deleted),
+            (10, self.subscribers),
+            (11, self.resyncs),
+            (12, self.commit_p50_us),
+            (13, self.commit_p99_us),
+        ]
+    }
+
+    fn encode_body(&self, buf: &mut Vec<u8>) {
+        buf.push(STATS_VERSION);
+        let fields = self.fields();
+        put_list_len(buf, fields.len());
+        for (id, value) in fields {
+            buf.push(id);
+            put_u64(buf, value);
+        }
+    }
+
+    fn set_field(&mut self, id: u8, value: u64) {
+        match id {
+            1 => self.round = value,
+            2 => self.durable_round = value,
+            3 => self.num_vertices = value,
+            4 => self.num_edges = value,
+            5 => self.mis_size = value,
+            6 => self.matching_size = value,
+            7 => self.batches = value,
+            8 => self.edges_inserted = value,
+            9 => self.edges_deleted = value,
+            10 => self.subscribers = value,
+            11 => self.resyncs = value,
+            12 => self.commit_p50_us = value,
+            13 => self.commit_p99_us = value,
+            // Unknown id: a field from a newer server. Skipped, not fatal —
+            // that is the point of the versioned block.
+            _ => {}
+        }
+    }
+
+    /// Decodes the legacy (response tag 4) fixed 9×`u64` stats body; fields
+    /// the old layout never carried stay at their defaults.
+    fn decode_legacy_body(c: &mut Cursor<'_>) -> io::Result<Self> {
+        let mut s = StatsReply::default();
+        for id in 1..=9 {
+            let v = c.u64()?;
+            s.set_field(id, v);
+        }
+        Ok(s)
+    }
+
+    /// Decodes the versioned (response tag 10) field-block stats body.
+    fn decode_body(c: &mut Cursor<'_>) -> io::Result<Self> {
+        let mut s = StatsReply::default();
+        let version = c.u8()?;
+        if version < STATS_VERSION {
+            return Err(malformed(format!("bad stats version {version}")));
+        }
+        let count = c.list_len(9)?;
+        for _ in 0..count {
+            let id = c.u8()?;
+            let value = c.u64()?;
+            s.set_field(id, value);
+        }
+        Ok(s)
+    }
 }
 
 /// A server response.
@@ -236,6 +341,8 @@ pub enum Response {
     },
     /// Counters.
     Stats(StatsReply),
+    /// The metrics registry text exposition.
+    Metrics(String),
     /// Acknowledges a [`Request::Shutdown`]; the connection closes after.
     ShuttingDown,
     /// Push-style round delta on a subscribed connection.
@@ -406,6 +513,7 @@ impl Request {
                 buf.push(7);
                 put_u64(&mut buf, *from);
             }
+            Request::Metrics => buf.push(8),
         }
         buf
     }
@@ -422,6 +530,7 @@ impl Request {
             5 => Request::Stats,
             6 => Request::Shutdown,
             7 => Request::Subscribe { from: c.u64()? },
+            8 => Request::Metrics,
             tag => return Err(malformed(format!("unknown request tag {tag}"))),
         };
         c.finish()?;
@@ -457,20 +566,13 @@ impl Response {
                 put_vertices(&mut buf, partners);
             }
             Response::Stats(s) => {
-                buf.push(4);
-                for x in [
-                    s.round,
-                    s.durable_round,
-                    s.num_vertices,
-                    s.num_edges,
-                    s.mis_size,
-                    s.matching_size,
-                    s.batches,
-                    s.edges_inserted,
-                    s.edges_deleted,
-                ] {
-                    put_u64(&mut buf, x);
-                }
+                buf.push(10);
+                s.encode_body(&mut buf);
+            }
+            Response::Metrics(text) => {
+                buf.push(9);
+                put_list_len(&mut buf, text.len());
+                buf.extend_from_slice(text.as_bytes());
             }
             Response::ShuttingDown => buf.push(5),
             Response::Delta(d) => {
@@ -529,18 +631,18 @@ impl Response {
                 round: c.u64()?,
                 partners: c.vertices()?,
             },
-            4 => Response::Stats(StatsReply {
-                round: c.u64()?,
-                durable_round: c.u64()?,
-                num_vertices: c.u64()?,
-                num_edges: c.u64()?,
-                mis_size: c.u64()?,
-                matching_size: c.u64()?,
-                batches: c.u64()?,
-                edges_inserted: c.u64()?,
-                edges_deleted: c.u64()?,
-            }),
+            // Decode-only legacy alias: pre-versioning servers sent stats as
+            // tag 4 with the fixed 9×u64 body.
+            4 => Response::Stats(StatsReply::decode_legacy_body(&mut c)?),
+            10 => Response::Stats(StatsReply::decode_body(&mut c)?),
             5 => Response::ShuttingDown,
+            9 => {
+                let len = c.list_len(1)?;
+                let bytes = c.bytes(len)?;
+                let text = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| malformed("metrics text is not UTF-8".to_string()))?;
+                Response::Metrics(text)
+            }
             7 => Response::Delta(read_delta_body(&mut c)?),
             8 => Response::Snapshot(read_snapshot_chunk_body(&mut c)?),
             6 => {
@@ -714,6 +816,7 @@ mod tests {
         roundtrip_request(Request::QueryMis(vec![0, 5, 9]));
         roundtrip_request(Request::QueryMatched(vec![2]));
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Subscribe { from: 0 });
         roundtrip_request(Request::Subscribe { from: 41 });
@@ -756,8 +859,18 @@ mod tests {
             batches: 4,
             edges_inserted: 25,
             edges_deleted: 5,
+            subscribers: 2,
+            resyncs: 1,
+            commit_p50_us: 340,
+            commit_p99_us: 1200,
         }));
+        roundtrip_response(Response::Stats(StatsReply::default()));
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Metrics(String::new()));
+        roundtrip_response(Response::Metrics(
+            "# TYPE server_rounds_committed_total counter\nserver_rounds_committed_total 7\n"
+                .into(),
+        ));
         roundtrip_response(Response::Error("nope".into()));
         roundtrip_response(Response::Delta(DeltaFrame {
             round: 12,
@@ -797,6 +910,57 @@ mod tests {
             last: true,
         }));
         roundtrip_response(Response::Snapshot(SnapshotChunk::default()));
+    }
+
+    /// The satellite's compat check: a pre-versioning stats frame (fixed
+    /// 9×u64 body, 72 bytes) still decodes, with the new fields at their
+    /// defaults — and a frame from a *newer* server carrying an unknown
+    /// field id decodes too, skipping it.
+    #[test]
+    fn legacy_and_future_stats_frames_decode() {
+        // Legacy v1 layout: tag 4 then nine u64s in the historical order.
+        let mut buf = vec![4u8];
+        for x in [4u64, 3, 10, 20, 5, 4, 4, 25, 5] {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        let expected = StatsReply {
+            round: 4,
+            durable_round: 3,
+            num_vertices: 10,
+            num_edges: 20,
+            mis_size: 5,
+            matching_size: 4,
+            batches: 4,
+            edges_inserted: 25,
+            edges_deleted: 5,
+            ..StatsReply::default()
+        };
+        assert_eq!(
+            Response::decode(&buf).unwrap(),
+            Response::Stats(expected),
+            "legacy fixed-layout stats body must still decode"
+        );
+
+        // Future frame: the current field block plus an unknown id 200.
+        let mut body = Vec::new();
+        expected.encode_body(&mut body);
+        // Patch the count up by one and append the unknown field.
+        let count = u32::from_le_bytes(body[1..5].try_into().unwrap());
+        body[1..5].copy_from_slice(&(count + 1).to_le_bytes());
+        body.push(200);
+        body.extend_from_slice(&77u64.to_le_bytes());
+        let mut buf = vec![10u8];
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            Response::decode(&buf).unwrap(),
+            Response::Stats(expected),
+            "unknown field ids must be skipped, not fatal"
+        );
+
+        // A truncated field block is still malformed.
+        let mut buf = Response::Stats(StatsReply::default()).encode();
+        buf.truncate(buf.len() - 1);
+        assert!(Response::decode(&buf).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use greedy_engine::prelude::{EdgeBatch, Engine};
 use greedy_graph::edge_list::Edge;
 
 use crate::feed::{DeltaFeed, FullDelta};
+use crate::metrics::{RoundTrace, ServerMetrics};
 use crate::protocol::RoundDelta;
 use crate::snapshot::{PublishedSnapshot, SnapshotCell};
 use crate::wal::Wal;
@@ -109,6 +110,11 @@ pub struct CommitSinks<'a> {
     /// thread exits without acking the round, so no writer ever holds an
     /// acknowledgment for a round that is not in the log.
     pub wal: Option<&'a Mutex<Wal>>,
+    /// Observability sink: each committed round's timeline (stage wait,
+    /// apply, repair, WAL, publish, feed) is folded into the histograms and
+    /// the flight recorder. `None` (or an `obs-off` build) commits with zero
+    /// timing overhead — not even the `Instant::now` reads happen.
+    pub metrics: Option<&'a ServerMetrics>,
 }
 
 /// Per-round rendezvous between the engine thread and the writers waiting on
@@ -283,9 +289,17 @@ impl RoundScheduler {
         // Armed for the whole drive: runs on normal return AND on unwind, so
         // a panicking engine thread cannot strand writers on the condvar.
         let _exit_guard = EngineExitGuard(self);
+        // All commit-pipeline timing folds away unless a metrics sink is
+        // attached AND the build records (obs-off strips it): `obs` is `None`
+        // otherwise, and every `Instant::now` below hides behind it.
+        let obs = if greedy_obs::ENABLED {
+            sinks.metrics
+        } else {
+            None
+        };
         let mut last_round = self.committed_round();
         loop {
-            let (insertions, deletions, round) = {
+            let (insertions, deletions, round, opened_at) = {
                 let mut s = lock_unpoisoned(&self.state);
                 loop {
                     if s.staged >= self.config.max_batch_updates {
@@ -325,11 +339,12 @@ impl RoundScheduler {
                 let insertions = mem::take(&mut s.insertions);
                 let deletions = mem::take(&mut s.deletions);
                 s.staged = 0;
-                s.opened_at = None;
+                let opened_at = s.opened_at.take();
                 let round = s.staging_round;
                 s.staging_round += 1;
-                (insertions, deletions, round)
+                (insertions, deletions, round, opened_at)
             };
+            let t_drain = obs.map(|_| Instant::now());
 
             // All engine work happens outside the staging lock: writers keep
             // staging the *next* round while this one is applied.
@@ -337,7 +352,9 @@ impl RoundScheduler {
                 insertions,
                 deletions,
             };
+            let staged_updates = (batch.insertions.len() + batch.deletions.len()) as u64;
             let report = engine.apply_batch(&batch);
+            let t_apply = obs.map(|_| Instant::now());
             let full = std::sync::Arc::new(FullDelta::from_report(round, &report));
 
             // Durability first: the round's record must be on the log (and
@@ -353,13 +370,20 @@ impl RoundScheduler {
                     eprintln!("wal: append for round {round} failed, stopping engine: {e}");
                     return engine;
                 }
-                if let Err(e) = wal.maybe_checkpoint(round, &engine) {
-                    eprintln!(
-                        "wal: periodic checkpoint at round {round} failed, stopping engine: {e}"
-                    );
-                    return engine;
+                let checkpointed = match wal.maybe_checkpoint(round, &engine) {
+                    Ok(did) => did,
+                    Err(e) => {
+                        eprintln!(
+                            "wal: periodic checkpoint at round {round} failed, stopping engine: {e}"
+                        );
+                        return engine;
+                    }
+                };
+                if let Some(m) = obs {
+                    m.record_wal_append(checkpointed);
                 }
             }
+            let t_wal = obs.map(|_| Instant::now());
 
             // `server_snapshot` is copy-on-write: its cost is the pages the
             // round touched, not O(n) — cheap enough to take every round.
@@ -369,6 +393,9 @@ impl RoundScheduler {
                 stats: *engine.stats(),
             });
             sinks.cell.publish_arc(snapshot.clone());
+            if let Some(m) = obs {
+                m.note_publish();
+            }
             if let Some(rec) = sinks.record {
                 lock_unpoisoned(rec).push(CommittedRound {
                     round,
@@ -378,8 +405,43 @@ impl RoundScheduler {
                     delta: full.clone(),
                 });
             }
+            let t_publish = obs.map(|_| Instant::now());
             if let Some(feed) = sinks.feed {
                 feed.publish(full);
+            }
+            if let Some(m) = obs {
+                // Unwraps are safe: every t_* was taken on the same branch.
+                let t_drain = t_drain.unwrap();
+                let t_feed = Instant::now();
+                let engine_t = engine.last_batch_timings();
+                m.record_round(
+                    &RoundTrace {
+                        round,
+                        updates: staged_updates,
+                        stage_wait_us: opened_at
+                            .map(|at| t_drain.duration_since(at).as_micros() as u64)
+                            .unwrap_or(0),
+                        apply_us: t_apply.unwrap().duration_since(t_drain).as_micros() as u64,
+                        repair_us: engine_t.matching_repair_us + engine_t.mis_repair_us,
+                        wal_us: t_wal.unwrap().duration_since(t_apply.unwrap()).as_micros() as u64,
+                        publish_us: t_publish
+                            .unwrap()
+                            .duration_since(t_wal.unwrap())
+                            .as_micros() as u64,
+                        feed_us: t_feed.duration_since(t_publish.unwrap()).as_micros() as u64,
+                        total_us: t_feed.duration_since(t_drain).as_micros() as u64,
+                        mis_rounds: report.mis_repair.rounds,
+                        matching_rounds: report.matching_repair.rounds,
+                        max_frontier: report
+                            .mis_repair
+                            .max_frontier
+                            .max(report.matching_repair.max_frontier),
+                        decided: report.mis_repair.decided + report.matching_repair.decided,
+                        flips: report.mis_repair.flips + report.matching_repair.flips,
+                        pages: engine.last_publication_pages() as u64,
+                    },
+                    (report.edges_inserted + report.edges_deleted) as u64,
+                );
             }
             last_round = round;
 
@@ -458,6 +520,7 @@ mod tests {
                     record: None,
                     feed: None,
                     wal: None,
+                    metrics: None,
                 },
             )
         })

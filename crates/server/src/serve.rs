@@ -21,12 +21,13 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use greedy_engine::prelude::Engine;
 use greedy_graph::edge_list::Edge;
 
 use crate::feed::{DeltaFeed, FullDelta};
+use crate::metrics::{RoundTrace, ServerMetrics};
 use crate::protocol::{read_frame, write_frame, Request, Response, StatsReply};
 use crate::replica::{snapshot_chunks, ReplicaState, SnapshotAssembler};
 use crate::rounds::{lock_unpoisoned, CommitSinks, CommittedRound, RoundConfig, RoundScheduler};
@@ -54,6 +55,14 @@ pub struct ServerConfig {
     /// directory; either way every committed round is logged before it is
     /// acked, and a final checkpoint is written on clean shutdown.
     pub wal: Option<WalConfig>,
+    /// Maintain the observability registry (per-stage commit histograms,
+    /// repair-round depth histograms, read-path latency, feed counters, and
+    /// the per-round flight recorder). On by default — recording costs a few
+    /// relaxed atomics per event. Off, the commit path skips even the clock
+    /// reads, and `metrics_text()`/[`Request::Metrics`] report a constant
+    /// "disabled" line. (Building with the `obs-off` feature disables
+    /// recording at compile time regardless of this flag.)
+    pub metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +72,7 @@ impl Default for ServerConfig {
             record_rounds: false,
             delta_ring: 64,
             wal: None,
+            metrics: true,
         }
     }
 }
@@ -90,6 +100,11 @@ struct Shared {
     /// Highest round whose log record is durable (always 0 without a WAL);
     /// shared with the stats path as [`StatsReply::durable_round`].
     durable: Arc<AtomicU64>,
+    /// The observability registry + flight recorder (`None` when
+    /// [`ServerConfig::metrics`] is off). Shared by the engine thread (commit
+    /// traces), every connection worker (query latency), and the stats /
+    /// metrics exposition paths.
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl Shared {
@@ -140,6 +155,29 @@ impl ServerHandle {
     /// without a WAL).
     pub fn durable_round(&self) -> u64 {
         self.shared.durable.load(Ordering::SeqCst)
+    }
+
+    /// The observability registry (`None` when [`ServerConfig::metrics`] is
+    /// off).
+    pub fn metrics(&self) -> Option<&ServerMetrics> {
+        self.shared.metrics.as_deref()
+    }
+
+    /// The full metrics text exposition — byte-for-byte what a quiesced
+    /// server answers to [`Request::Metrics`]. A constant "disabled" line
+    /// when [`ServerConfig::metrics`] is off.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
+    /// The flight recorder's retained round timelines, oldest first (empty
+    /// when metrics are off).
+    pub fn recent_rounds(&self) -> Vec<RoundTrace> {
+        self.shared
+            .metrics
+            .as_deref()
+            .map(ServerMetrics::recent_rounds)
+            .unwrap_or_default()
     }
 
     /// Drains staged updates into a final round, stops accepting, closes
@@ -236,6 +274,12 @@ pub fn serve_on<A: ToSocketAddrs>(
         .as_ref()
         .map(|w| w.durable_handle())
         .unwrap_or_default();
+    let metrics = config.metrics.then(|| Arc::new(ServerMetrics::new()));
+    let feed = DeltaFeed::with_base_round(config.delta_ring, base_round);
+    if let Some(m) = &metrics {
+        let (subscribers, lagged, pruned) = m.feed_instruments();
+        feed.instrument(subscribers, lagged, pruned);
+    }
     let shared = Arc::new(Shared {
         scheduler: RoundScheduler::with_base_round(config.rounds, base_round),
         cell: SnapshotCell::new(PublishedSnapshot {
@@ -243,7 +287,7 @@ pub fn serve_on<A: ToSocketAddrs>(
             state: engine.server_snapshot(),
             stats: *engine.stats(),
         }),
-        feed: DeltaFeed::with_base_round(config.delta_ring, base_round),
+        feed,
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
         num_vertices: engine.num_vertices(),
@@ -253,6 +297,7 @@ pub fn serve_on<A: ToSocketAddrs>(
         record: config.record_rounds.then(|| Mutex::new(Vec::new())),
         wal: wal_writer.map(Mutex::new),
         durable,
+        metrics,
     });
 
     let engine_thread = {
@@ -267,6 +312,7 @@ pub fn serve_on<A: ToSocketAddrs>(
                         record: shared.record.as_ref(),
                         feed: Some(&shared.feed),
                         wal: shared.wal.as_ref(),
+                        metrics: shared.metrics.as_deref(),
                     },
                 )
             })?
@@ -355,6 +401,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 lock_unpoisoned(&shared.conn_streams).insert(conn_id, clone);
             }
             Err(_) => continue,
+        }
+        if let Some(m) = &shared.metrics {
+            m.record_connection();
         }
         let worker = {
             let shared = shared.clone();
@@ -467,6 +516,9 @@ fn run_subscriber(from: u64, writer: &mut BufWriter<TcpStream>, shared: &Shared)
     }
     loop {
         if need_snapshot {
+            if let Some(m) = &shared.metrics {
+                m.record_feed_resync();
+            }
             // Clear the lag flag *before* loading the snapshot: a flag set
             // after this point refers to a round the snapshot may predate,
             // so it must survive into the next iteration and resync again.
@@ -529,23 +581,43 @@ fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()
     writer.flush()
 }
 
+/// The exposition both `ServerHandle::metrics_text()` and the
+/// [`Request::Metrics`] wire frame serve — one renderer, so the two can
+/// never drift.
+fn metrics_text(shared: &Shared) -> String {
+    match &shared.metrics {
+        Some(m) => m.render_text(),
+        None => "# metrics disabled\n".to_string(),
+    }
+}
+
 fn dispatch(request: Request, shared: &Shared) -> Response {
     match request {
         Request::InsertEdges(pairs) => submit_updates(shared, &pairs, true),
         Request::DeleteEdges(pairs) => submit_updates(shared, &pairs, false),
+        // The two query arms time themselves into the registry; the Stats and
+        // Metrics arms deliberately touch *no* instrument, so scraping the
+        // registry never perturbs it (and a quiesced server answers
+        // `Request::Metrics` byte-identically to `metrics_text()`).
         Request::QueryMis(vertices) => {
+            let t0 = shared.metrics.as_ref().map(|_| Instant::now());
             let snap = shared.cell.load();
-            match check_vertices(&vertices, shared.num_vertices) {
+            let response = match check_vertices(&vertices, shared.num_vertices) {
                 Some(err) => err,
                 None => Response::MisMembership {
                     round: snap.round,
                     in_mis: vertices.iter().map(|&v| snap.state.in_mis(v)).collect(),
                 },
+            };
+            if let (Some(m), Some(t0)) = (&shared.metrics, t0) {
+                m.record_query(t0.elapsed().as_micros() as u64);
             }
+            response
         }
         Request::QueryMatched(vertices) => {
+            let t0 = shared.metrics.as_ref().map(|_| Instant::now());
             let snap = shared.cell.load();
-            match check_vertices(&vertices, shared.num_vertices) {
+            let response = match check_vertices(&vertices, shared.num_vertices) {
                 Some(err) => err,
                 None => Response::Matched {
                     round: snap.round,
@@ -554,11 +626,15 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                         .map(|&v| snap.state.partner_of(v).unwrap_or(u32::MAX))
                         .collect(),
                 },
+            };
+            if let (Some(m), Some(t0)) = (&shared.metrics, t0) {
+                m.record_query(t0.elapsed().as_micros() as u64);
             }
+            response
         }
         Request::Stats => {
             let snap = shared.cell.load();
-            Response::Stats(StatsReply {
+            let mut reply = StatsReply {
                 round: snap.round,
                 durable_round: shared.durable.load(Ordering::SeqCst),
                 num_vertices: snap.state.num_vertices() as u64,
@@ -568,8 +644,20 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                 batches: snap.stats.batches,
                 edges_inserted: snap.stats.edges_inserted,
                 edges_deleted: snap.stats.edges_deleted,
-            })
+                subscribers: shared.feed.subscriber_count() as u64,
+                resyncs: 0,
+                commit_p50_us: 0,
+                commit_p99_us: 0,
+            };
+            if let Some(m) = &shared.metrics {
+                reply.resyncs = m.feed_resyncs();
+                let commit = m.commit_total_us().snapshot();
+                reply.commit_p50_us = commit.quantile(0.50);
+                reply.commit_p99_us = commit.quantile(0.99);
+            }
+            Response::Stats(reply)
         }
+        Request::Metrics => Response::Metrics(metrics_text(shared)),
         Request::Shutdown => Response::ShuttingDown,
         // Handled by the connection loop before dispatch (it hijacks the
         // writer); kept here only for match exhaustiveness.
@@ -719,6 +807,17 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<StatsReply> {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The server's metrics text exposition (see
+    /// `ServerHandle::metrics_text`). Scraping is read-only: it perturbs no
+    /// counter, so on a quiesced server repeated calls return identical
+    /// bytes.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
             other => Err(Self::unexpected(other)),
         }
     }

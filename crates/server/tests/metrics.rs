@@ -1,0 +1,125 @@
+//! End-to-end observability checks: the `Request::Metrics` wire frame must
+//! return exactly what `ServerHandle::metrics_text()` renders, the commit
+//! pipeline must actually land samples in the registry, and disabling
+//! metrics must degrade to a constant exposition rather than an error.
+
+use std::time::Duration;
+
+use greedy_engine::prelude::Engine;
+use greedy_server::prelude::*;
+
+/// Pulls `name value` off the exposition (first exact-name match).
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let (n, v) = line.split_once(' ')?;
+        (n == name).then(|| v.parse().ok())?
+    })
+}
+
+#[test]
+fn wire_metrics_match_handle_metrics_byte_for_byte() {
+    let handle = serve(Engine::new(200, 11), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Traffic: a few committed rounds plus reads on both query paths.
+    client.insert_edges(&[(0, 1), (1, 2), (2, 3)]).unwrap();
+    client.insert_edges(&[(3, 4), (10, 11)]).unwrap();
+    client.delete_edges(&[(1, 2)]).unwrap();
+    client.query_mis(&[0, 1, 2, 3]).unwrap();
+    client.query_matched(&[10, 11]).unwrap();
+
+    // The server is quiesced: every round above was acknowledged *after* its
+    // trace was recorded, and scraping touches no instrument — so the wire
+    // exposition and the in-process one must be identical bytes, repeatedly.
+    let over_wire = client.metrics().unwrap();
+    let in_process = handle.metrics_text();
+    assert_eq!(over_wire, in_process, "wire and handle expositions differ");
+    assert_eq!(
+        client.metrics().unwrap(),
+        over_wire,
+        "scrape perturbed state"
+    );
+
+    if greedy_obs::ENABLED {
+        assert_eq!(
+            metric_value(&over_wire, "server_rounds_committed_total"),
+            Some(3)
+        );
+        assert_eq!(metric_value(&over_wire, "server_queries_total"), Some(2));
+        assert_eq!(
+            metric_value(&over_wire, "server_commit_total_us_count"),
+            Some(3)
+        );
+        assert_eq!(metric_value(&over_wire, "server_query_us_count"), Some(2));
+        assert_eq!(
+            metric_value(&over_wire, "server_repair_rounds_mis_count"),
+            Some(3)
+        );
+        assert!(metric_value(&over_wire, "server_connections_total").unwrap() >= 1);
+        // 3 + 2 - 1 effective updates across the three rounds.
+        assert_eq!(
+            metric_value(&over_wire, "server_updates_effective_total"),
+            Some(6)
+        );
+
+        // The flight recorder kept every round, newest last.
+        let traces = handle.recent_rounds();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces.last().unwrap().round, handle.committed_round());
+        assert!(traces.iter().all(|t| t.total_us >= t.apply_us));
+
+        // Stats carries the histogram-backed percentiles.
+        let stats = client.stats().unwrap();
+        assert!(stats.commit_p50_us <= stats.commit_p99_us);
+        assert!(stats.commit_p99_us > 0);
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn subscriber_resyncs_and_gauge_show_up() {
+    let handle = serve(Engine::new(100, 5), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.insert_edges(&[(0, 1)]).unwrap();
+
+    let mut sub = Client::connect(handle.addr())
+        .unwrap()
+        .subscribe_fresh()
+        .unwrap();
+    sub.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // A fresh subscriber is seeded by a full snapshot stream.
+    sub.next_round().unwrap().expect("snapshot seed");
+
+    if greedy_obs::ENABLED {
+        let text = handle.metrics_text();
+        assert_eq!(metric_value(&text, "server_feed_subscribers"), Some(1));
+        assert!(metric_value(&text, "server_feed_resyncs_total").unwrap() >= 1);
+    }
+    drop(sub);
+    handle.shutdown();
+}
+
+#[test]
+fn disabled_metrics_serve_a_constant_exposition() {
+    let config = ServerConfig {
+        metrics: false,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Engine::new(50, 3), config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.insert_edges(&[(0, 1)]).unwrap();
+
+    assert_eq!(handle.metrics_text(), "# metrics disabled\n");
+    assert_eq!(client.metrics().unwrap(), handle.metrics_text());
+    assert!(handle.metrics().is_none());
+    assert!(handle.recent_rounds().is_empty());
+
+    // Stats still answers; the histogram-backed fields just stay zero.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.commit_p50_us, 0);
+    assert_eq!(stats.round, 1);
+
+    handle.shutdown();
+}

@@ -22,6 +22,7 @@ fn request_corpus() -> Vec<Vec<u8>> {
         Request::QueryMis(vec![0, 1, 2]),
         Request::QueryMatched(vec![7]),
         Request::Stats,
+        Request::Metrics,
         Request::Shutdown,
         Request::Subscribe { from: 3 },
         Request::Subscribe {
@@ -54,6 +55,7 @@ fn response_corpus() -> Vec<Vec<u8>> {
             partners: vec![u32::MAX, 3],
         },
         Response::Stats(StatsReply::default()),
+        Response::Metrics("# TYPE server_queries_total counter\nserver_queries_total 4\n".into()),
         Response::ShuttingDown,
         Response::Delta(DeltaFrame {
             round: 5,
