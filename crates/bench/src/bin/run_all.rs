@@ -11,15 +11,18 @@
 //! sort subsystem owns — random-permutation construction and edge-list → CSR
 //! build — and writes them to `results/BENCH_quick.json`. CI uploads that
 //! file as an artifact on every run, giving future PRs a perf trajectory to
-//! compare against.
+//! compare against. Adding `--compare` diffs the fresh rows against the
+//! trajectory file's pre-run contents (the committed baseline in CI) and
+//! prints a warning — never a failure — for every throughput row that
+//! regressed by more than 25%.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use greedy_bench::{
-    engine_matching_heavy_batch, engine_mixed_batch, merge_quick_entries, run_on_threads, secs,
-    time_best_of, HarnessConfig,
+    compare_quick_entries, engine_matching_heavy_batch, engine_mixed_batch, merge_quick_entries,
+    read_quick_entries, run_on_threads, secs, time_best_of, HarnessConfig,
 };
 use greedy_engine::prelude::{DynGraph, Engine};
 use greedy_graph::csr::Graph;
@@ -51,7 +54,16 @@ fn main() {
         .to_path_buf();
 
     if cfg.quick {
+        // `--compare` diffs the fresh rows against whatever the trajectory
+        // file held *before* this run — in CI that is the committed
+        // baseline — so snapshot it ahead of the merge.
+        let baseline = cfg
+            .compare
+            .then(|| read_quick_entries(&out_dir.join("BENCH_quick.json")));
         write_quick_bench(&cfg, &out_dir);
+        if let Some(baseline) = baseline {
+            compare_against_baseline(&baseline, &out_dir);
+        }
     }
 
     for (bin, graphs) in experiments {
@@ -97,6 +109,35 @@ fn main() {
         }
     }
     eprintln!("all experiments written to {}", out_dir.display());
+}
+
+/// The `--compare` step: diff the freshly merged `BENCH_quick.json` rows
+/// against the pre-merge snapshot and warn on >25% throughput regressions.
+/// Warning only, never a failure: quick-mode numbers from a shared CI box
+/// are too noisy for a hard gate, but the warning makes a persistent
+/// regression visible in the job log while the uploaded artifact keeps the
+/// exact rows for the trajectory.
+fn compare_against_baseline(baseline: &[String], out_dir: &Path) {
+    if baseline.is_empty() {
+        eprintln!("== compare: no baseline rows to diff against, skipping");
+        return;
+    }
+    let fresh = read_quick_entries(&out_dir.join("BENCH_quick.json"));
+    let warnings = compare_quick_entries(baseline, &fresh, 25.0);
+    if warnings.is_empty() {
+        eprintln!(
+            "== compare: no >25% throughput regressions across {} baseline rows",
+            baseline.len()
+        );
+    } else {
+        for w in &warnings {
+            eprintln!("   PERF WARNING: {w}");
+        }
+        eprintln!(
+            "== compare: {} row(s) regressed >25% vs the baseline (warning only)",
+            warnings.len()
+        );
+    }
 }
 
 /// One timed entry of the quick-bench trajectory file.

@@ -42,8 +42,14 @@
 //! wal / publish / feed), the repair-rounds histogram with the paper's
 //! `log2(n)^2` depth bound for comparison, and validates that every metric
 //! that cannot be zero after the load (committed rounds, query samples,
-//! WAL appends when serving durably) is in fact nonzero — exiting nonzero
-//! otherwise. The full exposition is dumped to `results/metrics_quick.txt`
+//! WAL appends when serving durably, and the merged engine internals —
+//! rebuilds observed, arena occupancy, repair work) is in fact nonzero —
+//! exiting nonzero otherwise. It also requests a `Trace` frame over the
+//! live socket and requires its body to be byte-identical to
+//! `encode_round_traces` over the in-process flight recorder, and dumps
+//! the structured event journal to `results/events_quick.txt` (CI uploads
+//! it next to the metrics dump).
+//! The full exposition is dumped to `results/metrics_quick.txt`
 //! and `server_obs_{on,off}_rounds_per_s` + `server_obs_overhead_pct` rows
 //! (registry enabled vs disabled, same load) are merged into
 //! `results/BENCH_quick.json`. Build with `--features obs-off` to compare
@@ -62,6 +68,8 @@
 //!     --writers 4 --readers 4 --duration-secs 3
 //! ```
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -76,6 +84,7 @@ use greedy_graph::gen::random::random_graph;
 use greedy_obs::Histogram;
 use greedy_prims::random::hash64;
 use greedy_server::prelude::*;
+use greedy_server::protocol::read_frame;
 use greedy_server::wal;
 
 struct LoadConfig {
@@ -702,6 +711,45 @@ fn metrics_report(handle: &ServerHandle, addr: std::net::SocketAddr, cfg: &LoadC
     std::fs::write(dump, &in_process).expect("write metrics dump");
     eprintln!("   exposition dumped to {}", dump.display());
 
+    // Acceptance check 2: a `Trace` frame over real TCP must carry exactly
+    // `encode_round_traces` over the in-process flight recorder — one
+    // canonical encoder, zero drift between the wire and the handle. (Under
+    // obs-off both sides are the empty encoding, so the check still holds.)
+    let mut raw = TcpStream::connect(addr).expect("trace connect");
+    raw.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("trace timeout");
+    let payload = Request::Trace { last_k: u64::MAX }.encode();
+    raw.write_all(&(payload.len() as u32).to_le_bytes())
+        .expect("trace frame length");
+    raw.write_all(&payload).expect("trace frame body");
+    let reply = read_frame(&mut raw)
+        .expect("trace read")
+        .expect("a trace frame");
+    let expected = encode_round_traces(&handle.recent_rounds());
+    if reply.first() != Some(&11) || reply[1..] != expected[..] {
+        eprintln!(
+            "   METRICS FAILED: TCP trace body ({} bytes) != in-process flight-recorder \
+             encoding ({} bytes)",
+            reply.len().saturating_sub(1),
+            expected.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "   trace frame == flight recorder: {} rounds, byte-identical",
+        handle.recent_rounds().len()
+    );
+
+    // Event-journal dump. The journal also rides the exposition above; the
+    // standalone file is what CI uploads next to metrics_quick.txt.
+    let events = Path::new("results/events_quick.txt");
+    let journal = handle
+        .metrics()
+        .map(|m| m.journal().render_text())
+        .unwrap_or_else(|| String::from("# event_journal disabled\n"));
+    std::fs::write(events, &journal).expect("write events dump");
+    eprintln!("   event journal dumped to {}", events.display());
+
     if !greedy_obs::ENABLED {
         eprintln!("   (recording compiled out via obs-off; skipping content checks)");
         return;
@@ -801,6 +849,16 @@ fn metrics_report(handle: &ServerHandle, addr: std::net::SocketAddr, cfg: &LoadC
     if cfg.data_dir.is_some() {
         require("server_wal_appends_total", "rounds were logged to the WAL");
     }
+    // Engine internals, merged into the same exposition: after real traffic
+    // the arena must exist, hold live vertices, have been built at least
+    // once, and repair must have run every round.
+    require("engine_rebuilds_total", "the arena was built at least once");
+    require("engine_arena_capacity", "the arena holds segments");
+    require("engine_arena_live", "live vertices occupy the arena");
+    require(
+        "engine_mis_repair_work_count",
+        "MIS repair ran on every round",
+    );
     if value("server_commit_total_us_count") != rounds {
         failures.push(format!(
             "server_commit_total_us_count {} != server_rounds_committed_total {rounds}",

@@ -167,7 +167,9 @@ impl ExperimentGraph {
 /// Recognized flags (all optional):
 /// `--graph random|rmat`, `--scale tiny|small|medium|paper`, `--seed <u64>`,
 /// `--threads <list>` (comma-separated), `--reps <k>`, `--csv` (CSV only),
-/// `--quick` (tiny scale, 1 rep, minimal thread sweep — the smoke-test mode).
+/// `--quick` (tiny scale, 1 rep, minimal thread sweep — the smoke-test mode),
+/// `--compare` (diff fresh `BENCH_quick.json` rows against the committed
+/// baseline and warn on large throughput regressions).
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Input graph kind.
@@ -185,6 +187,10 @@ pub struct HarnessConfig {
     /// True when `--quick` smoke-test mode was requested; `run_all` uses this
     /// to also emit the `BENCH_quick.json` perf-trajectory file.
     pub quick: bool,
+    /// True when `--compare` was requested; `run_all` uses this to diff the
+    /// freshly written `BENCH_quick.json` rows against the committed baseline
+    /// and warn (never fail) on large throughput regressions.
+    pub compare: bool,
 }
 
 impl Default for HarnessConfig {
@@ -197,6 +203,7 @@ impl Default for HarnessConfig {
             reps: 3,
             csv_only: false,
             quick: false,
+            compare: false,
         }
     }
 }
@@ -271,10 +278,11 @@ impl HarnessConfig {
                     let max = num_cpus::get().max(1);
                     cfg.threads = if max > 1 { vec![1, max] } else { vec![1] };
                 }
+                "--compare" => cfg.compare = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --graph random|rmat --scale tiny|small|medium|paper --seed N \
-                         --threads 1,2,4 --reps K --csv --quick"
+                         --threads 1,2,4 --reps K --csv --quick --compare"
                     );
                     std::process::exit(0);
                 }
@@ -449,6 +457,93 @@ pub fn merge_quick_entries(
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", target.display()));
 }
 
+/// Reads the entry lines of a `BENCH_quick.json` trajectory file, or an
+/// empty list when the file is missing or not in the expected
+/// line-structured shape. This is how `run_all --compare` snapshots the
+/// committed baseline before [`merge_quick_entries`] overwrites its rows.
+pub fn read_quick_entries(path: &std::path::Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| split_quick_entries(&text).map(|(_, entries, _)| entries))
+        .unwrap_or_default()
+}
+
+/// Extracts a `"key": "string"` field from a one-line JSON entry object.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a `"key": number` field from a one-line JSON entry object.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Diffs fresh trajectory rows against a baseline snapshot and returns one
+/// warning line per throughput regression larger than `threshold_pct`.
+///
+/// Only rows whose metric measures throughput are compared: timing rows
+/// (`"seconds"`, lower is better) and rate rows (`"unit"` ending in `/s`,
+/// higher is better). Latency percentiles and counts are skipped — on a
+/// shared CI box they are too noisy to diff meaningfully. Rows present on
+/// only one side are skipped too, so renaming or adding entries never
+/// produces a spurious warning. The caller decides what to do with the
+/// warnings; nothing here exits or fails.
+pub fn compare_quick_entries(
+    baseline: &[String],
+    fresh: &[String],
+    threshold_pct: f64,
+) -> Vec<String> {
+    // (name, threads) -> (metric, higher_is_better)
+    let index = |rows: &[String]| -> std::collections::BTreeMap<(String, u64), (f64, bool)> {
+        let mut map = std::collections::BTreeMap::new();
+        for line in rows {
+            let Some(name) = json_str_field(line, "name") else {
+                continue;
+            };
+            let threads = json_num_field(line, "threads").unwrap_or(0.0) as u64;
+            if let Some(seconds) = json_num_field(line, "seconds") {
+                map.insert((name, threads), (seconds, false));
+            } else if let (Some(value), Some(unit)) =
+                (json_num_field(line, "value"), json_str_field(line, "unit"))
+            {
+                if unit.ends_with("/s") {
+                    map.insert((name, threads), (value, true));
+                }
+            }
+        }
+        map
+    };
+    let old = index(baseline);
+    let mut warnings = Vec::new();
+    for ((name, threads), (new_v, higher_is_better)) in index(fresh) {
+        let Some(&(old_v, _)) = old.get(&(name.clone(), threads)) else {
+            continue;
+        };
+        if old_v <= 0.0 || new_v <= 0.0 {
+            continue;
+        }
+        let regression_pct = if higher_is_better {
+            (old_v - new_v) / old_v * 100.0
+        } else {
+            (new_v - old_v) / old_v * 100.0
+        };
+        if regression_pct > threshold_pct {
+            warnings.push(format!(
+                "{name} (threads={threads}): {old_v:.4} -> {new_v:.4}, \
+                 {regression_pct:.0}% throughput regression"
+            ));
+        }
+    }
+    warnings
+}
+
 /// Splits the trajectory file into (head incl. `"entries": [`, entry lines
 /// without trailing commas, tail from `]` on). The file is line-structured
 /// by construction — one entry object per line.
@@ -554,5 +649,73 @@ mod tests {
         assert!(sweep.windows(2).all(|w| w[0] < w[1]));
         assert!(sweep.iter().all(|&f| f > 0.0 && f <= 1.0));
         assert_eq!(*sweep.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn config_parses_compare_flag() {
+        let cfg = HarnessConfig::parse(["--quick", "--compare"].into_iter().map(String::from));
+        assert!(cfg.quick);
+        assert!(cfg.compare);
+        assert!(!HarnessConfig::parse(std::iter::empty()).compare);
+    }
+
+    #[test]
+    fn compare_warns_on_throughput_regressions_only() {
+        let row = |name: &str, threads: usize, metric: &str| {
+            format!(
+                "    {{\"name\": \"{name}\", \"threads\": {threads}, \"n\": 10, \"m\": 20, \
+                 {metric}}}"
+            )
+        };
+        let baseline = vec![
+            row("sort_pass", 1, "\"seconds\": 1.000000"),
+            row("sort_pass", 4, "\"seconds\": 0.250000"),
+            row(
+                "server_rounds_per_s",
+                2,
+                "\"value\": 1000.000, \"unit\": \"rounds/s\"",
+            ),
+            row(
+                "server_query_p99_us",
+                2,
+                "\"value\": 10.000, \"unit\": \"us\"",
+            ),
+            row("renamed_away", 1, "\"seconds\": 1.000000"),
+        ];
+        let fresh = vec![
+            // 50% slower: warns.
+            row("sort_pass", 1, "\"seconds\": 1.500000"),
+            // 20% slower: under the threshold, silent.
+            row("sort_pass", 4, "\"seconds\": 0.300000"),
+            // Rate halved: warns.
+            row(
+                "server_rounds_per_s",
+                2,
+                "\"value\": 500.000, \"unit\": \"rounds/s\"",
+            ),
+            // Latency rows are skipped however much they move.
+            row(
+                "server_query_p99_us",
+                2,
+                "\"value\": 900.000, \"unit\": \"us\"",
+            ),
+            // No baseline counterpart: skipped.
+            row("brand_new", 1, "\"seconds\": 9.000000"),
+        ];
+        let warnings = compare_quick_entries(&baseline, &fresh, 25.0);
+        assert_eq!(warnings.len(), 2, "got: {warnings:?}");
+        assert!(warnings
+            .iter()
+            .any(|w| w.starts_with("server_rounds_per_s")));
+        assert!(warnings
+            .iter()
+            .any(|w| w.starts_with("sort_pass (threads=1)")));
+
+        // Improvements never warn.
+        assert!(compare_quick_entries(&fresh, &baseline, 25.0)
+            .iter()
+            .all(|w| !w.starts_with("sort_pass")));
+        // An empty baseline (file missing / first run) is silent.
+        assert!(compare_quick_entries(&[], &fresh, 25.0).is_empty());
     }
 }

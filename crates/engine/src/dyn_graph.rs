@@ -45,16 +45,68 @@
 
 use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::{Edge, EdgeList};
+use greedy_obs::{EventJournal, EventKind};
 use greedy_prims::pack::par_dedup_adjacent;
 use greedy_prims::scan::counts_to_offsets;
 use greedy_prims::sort::sort_by_key_parallel;
 use greedy_prims::util::{blocks, default_num_blocks, par_map_blocks};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Sentinel key marking a free slot in the allocator table. Never collides
 /// with a live edge's packed key: `u64::MAX` packs to the self-loop
 /// `{u32::MAX, u32::MAX}`, which no canonical batch admits.
 const FREE_KEY: u64 = u64::MAX;
+
+/// Why a full arena rebuild ran. Every [`DynGraph::rebuild`] site names its
+/// trigger so the per-reason counters (and the event journal's
+/// `arena_rebuild` entries) can tell amortization pathologies apart: a
+/// workload rebuilding on `DeadSpace` every batch is thrashing relocations,
+/// one rebuilding on `InsertOverflow` is growing densely — same counter
+/// total, opposite fixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildTrigger {
+    /// The initial bulk build from an existing graph ([`DynGraph::from_graph`]).
+    Initial,
+    /// An insert batch overflowed most of the segments it touched, so one
+    /// parallel rebuild beat thrashing the tail with relocations.
+    InsertOverflow,
+    /// Dead space orphaned by relocations passed the compaction threshold.
+    DeadSpace,
+    /// Mass deletion left the arena mostly non-live; compacted to track the
+    /// live edge set.
+    Shrink,
+}
+
+impl RebuildTrigger {
+    /// Every trigger, in counter order.
+    pub const ALL: [RebuildTrigger; 4] = [
+        RebuildTrigger::Initial,
+        RebuildTrigger::InsertOverflow,
+        RebuildTrigger::DeadSpace,
+        RebuildTrigger::Shrink,
+    ];
+
+    /// The trigger's stable snake_case label, used as the metric-name suffix
+    /// and the journal event's `reason=` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            RebuildTrigger::Initial => "initial",
+            RebuildTrigger::InsertOverflow => "insert_overflow",
+            RebuildTrigger::DeadSpace => "dead_space",
+            RebuildTrigger::Shrink => "shrink",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RebuildTrigger::Initial => 0,
+            RebuildTrigger::InsertOverflow => 1,
+            RebuildTrigger::DeadSpace => 2,
+            RebuildTrigger::Shrink => 3,
+        }
+    }
+}
 
 /// One effective edge update, as reported by [`DynGraph::insert_edges`] /
 /// [`DynGraph::delete_edges`]: the canonical edge plus the stable slot id it
@@ -97,11 +149,17 @@ pub struct DynGraph {
     free_slots: Vec<u32>,
     /// Full arena rebuilds performed so far (amortization observability).
     rebuilds: u64,
+    /// Rebuilds by [`RebuildTrigger`], indexed by `RebuildTrigger::index`.
+    rebuilds_by: [u64; 4],
     /// Single-segment tail relocations performed so far.
     relocations: u64,
     /// Parallel block tasks the most recent rebuild fanned out — tests assert
     /// even small-vertex rebalances split into multiple tasks.
     last_rebuild_tasks: usize,
+    /// Optional event journal: rebuilds and relocations are rare enough to
+    /// keep individually (see [`EventJournal`]). Excluded from `PartialEq`
+    /// (logical equality) like the rest of the history-dependent state.
+    journal: Option<Arc<EventJournal>>,
 }
 
 /// Logical equality: same vertex count and same live adjacency. Slack layout
@@ -155,8 +213,10 @@ impl DynGraph {
             slot_key: Vec::new(),
             free_slots: Vec::new(),
             rebuilds: 0,
+            rebuilds_by: [0; 4],
             relocations: 0,
             last_rebuild_tasks: 0,
+            journal: None,
         }
     }
 
@@ -173,7 +233,7 @@ impl DynGraph {
             })
             .collect();
         let (arcs, groups) = arcs_of(&updates);
-        g.rebuild(&arcs, &groups);
+        g.rebuild(&arcs, &groups, RebuildTrigger::Initial);
         g.num_edges = edges.len();
         g
     }
@@ -295,9 +355,32 @@ impl DynGraph {
         self.rebuilds
     }
 
+    /// Rebuilds attributed to one trigger; the four reasons sum to
+    /// [`DynGraph::rebuilds`].
+    pub fn rebuilds_for(&self, trigger: RebuildTrigger) -> u64 {
+        self.rebuilds_by[trigger.index()]
+    }
+
     /// Single-segment relocations (local overflow fixes) performed so far.
     pub fn relocations(&self) -> u64 {
         self.relocations
+    }
+
+    /// Arena entries belonging to no segment (orphaned by relocations and
+    /// reclaimed by the next rebuild).
+    pub fn dead_entries(&self) -> usize {
+        self.dead
+    }
+
+    /// Freed slot ids currently awaiting reuse.
+    pub fn free_list_len(&self) -> usize {
+        self.free_slots.len()
+    }
+
+    /// Feeds arena rebuilds and relocations into `journal` from here on.
+    /// Recording is a no-op in `obs-off` builds.
+    pub fn attach_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
     }
 
     /// Parallel block tasks the most recent rebuild fanned out over
@@ -337,7 +420,7 @@ impl DynGraph {
             let mut groups = fits;
             groups.extend(overflows);
             groups.sort_unstable_by_key(|&(v, _)| v);
-            self.rebuild(&arcs, &groups);
+            self.rebuild(&arcs, &groups, RebuildTrigger::InsertOverflow);
         } else {
             self.merge_insert_groups(&arcs, &fits);
             for &(v, ref range) in &overflows {
@@ -347,7 +430,7 @@ impl DynGraph {
             // space dominates (amortized: a third of the arena must die
             // between rebuilds).
             if self.dead > 64 && self.dead * 3 > self.nbr.len() {
-                self.rebuild(&[], &[]);
+                self.rebuild(&[], &[], RebuildTrigger::DeadSpace);
             }
         }
         self.num_edges += updates.len();
@@ -414,7 +497,7 @@ impl DynGraph {
         // alone and keeps rebuild cost amortized.
         let live_entries = 2 * self.num_edges;
         if self.nbr.len() > 64 && self.nbr.len() > 3 * live_entries + 4 * self.num_vertices() {
-            self.rebuild(&[], &[]);
+            self.rebuild(&[], &[], RebuildTrigger::Shrink);
         }
         updates
     }
@@ -626,6 +709,12 @@ impl DynGraph {
         self.seg_cap[v] = new_cap;
         self.seg_len[v] = new_len;
         self.relocations += 1;
+        if let Some(j) = &self.journal {
+            j.record(EventKind::ArenaRelocation {
+                vertex: v as u64,
+                new_cap: new_cap as u64,
+            });
+        }
     }
 
     /// Rebuilds the whole arena with fresh per-vertex slack, merging the
@@ -633,7 +722,12 @@ impl DynGraph {
     /// live prefixes on the way. Fanned out over contiguous vertex blocks
     /// with [`par_map_blocks`]; each block writes a disjoint region of the
     /// new arena, so the copy is race-free and deterministic.
-    fn rebuild(&mut self, arcs: &[InsArc], groups: &[(u32, std::ops::Range<usize>)]) {
+    fn rebuild(
+        &mut self,
+        arcs: &[InsArc],
+        groups: &[(u32, std::ops::Range<usize>)],
+        trigger: RebuildTrigger,
+    ) {
         let n = self.num_vertices();
         // Additions per vertex (sparse -> dense walk of the sorted groups).
         let mut add_range: Vec<std::ops::Range<usize>> = vec![0..0; n];
@@ -706,6 +800,14 @@ impl DynGraph {
         self.seg_cap = caps;
         self.dead = 0;
         self.rebuilds += 1;
+        self.rebuilds_by[trigger.index()] += 1;
+        if let Some(j) = &self.journal {
+            j.record(EventKind::ArenaRebuild {
+                reason: trigger.label(),
+                capacity: self.nbr.len() as u64,
+                tasks: self.last_rebuild_tasks as u64,
+            });
+        }
     }
 }
 
@@ -1086,5 +1188,75 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn insert_rejects_out_of_range() {
         DynGraph::new(3).insert_edges(&edges(&[(0, 3)]));
+    }
+
+    #[test]
+    fn rebuild_triggers_are_attributed_and_sum_to_total() {
+        // Initial bulk build.
+        let base = random_graph(200, 2_000, 9);
+        let mut g = DynGraph::from_graph(&base);
+        assert_eq!(g.rebuilds_for(RebuildTrigger::Initial), 1);
+        // Mass deletion shrinks.
+        let all: Vec<Edge> = base.to_edge_list().into_parts().1;
+        g.delete_edges(&all[..1_900]);
+        assert!(
+            g.rebuilds_for(RebuildTrigger::Shrink) >= 1,
+            "no shrink rebuild"
+        );
+        // A dense batch into a fresh graph overflows most touched segments.
+        let mut h = DynGraph::new(64);
+        let batch: Vec<Edge> = (0u32..64)
+            .flat_map(|u| (u + 1..64).map(move |v| Edge::new(u, v)))
+            .collect();
+        h.insert_edges(&batch);
+        assert!(
+            h.rebuilds_for(RebuildTrigger::InsertOverflow) >= 1,
+            "dense growth not attributed to insert_overflow"
+        );
+        for g in [&g, &h] {
+            let by_reason: u64 = RebuildTrigger::ALL.iter().map(|&t| g.rebuilds_for(t)).sum();
+            assert_eq!(
+                by_reason,
+                g.rebuilds(),
+                "per-reason counts must tile the total"
+            );
+        }
+    }
+
+    #[test]
+    fn attached_journal_sees_rebuilds_and_relocations() {
+        let journal = Arc::new(EventJournal::default());
+        let mut g = DynGraph::new(2_000);
+        g.attach_journal(journal.clone());
+        // Hub growth: repeated relocations, occasionally a dead-space rebuild.
+        for b in 0..40u32 {
+            let batch: Vec<Edge> = (0..40).map(|i| Edge::new(0, 1 + b * 40 + i)).collect();
+            g.insert_edges(&batch);
+        }
+        if !greedy_obs::ENABLED {
+            assert!(journal.is_empty());
+            return;
+        }
+        let events = journal.recent();
+        let relocations = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ArenaRelocation { vertex: 0, .. }))
+            .count();
+        assert!(
+            relocations as u64 >= g.relocations().min(5),
+            "hub relocations missing from the journal"
+        );
+        assert!(
+            events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::ArenaRebuild {
+                        reason, capacity, ..
+                    } => Some((reason, capacity)),
+                    _ => None,
+                })
+                .all(|(reason, capacity)| !reason.is_empty() && capacity > 0),
+            "rebuild events must carry their trigger label and capacity"
+        );
     }
 }

@@ -19,6 +19,7 @@ use greedy_graph::edge_list::Edge;
 
 use crate::dyn_graph::DynGraph;
 use crate::matching::{matching_from_scratch, MatchDelta, MatchingState};
+use crate::metrics::EngineMetrics;
 use crate::mis::{mis_from_scratch, repair_mis, vertex_priorities};
 use crate::snapshot::{ServerSnapshot, PAGE_VERTICES};
 
@@ -174,6 +175,10 @@ pub struct Engine {
     /// see [`BatchTimings`]).
     last_timings: BatchTimings,
     stats: EngineStats,
+    /// Optional internals instrumentation, recorded once per batch. Like
+    /// [`BatchTimings`], deliberately outside [`BatchReport`]: reports stay
+    /// equality-comparable in determinism tests.
+    metrics: Option<EngineMetrics>,
 }
 
 impl Engine {
@@ -223,7 +228,19 @@ impl Engine {
             last_publication_pages: 0,
             last_timings: BatchTimings::default(),
             stats,
+            metrics: None,
         }
+    }
+
+    /// Attaches engine-internals instrumentation: arena gauges, rebuild and
+    /// relocation counters (per [`crate::dyn_graph::RebuildTrigger`]), and
+    /// repair-work histograms are recorded after every
+    /// [`Engine::apply_batch`]; arena rebuilds/relocations additionally feed
+    /// the metrics' event journal as they happen. The caller keeps a clone of
+    /// `metrics` for exposition — the instruments are shared through `Arc`s.
+    pub fn attach_metrics(&mut self, metrics: EngineMetrics) {
+        self.graph.attach_journal(metrics.journal().clone());
+        self.metrics = Some(metrics);
     }
 
     /// Applies one batch of edge updates and repairs both maintained states
@@ -329,6 +346,14 @@ impl Engine {
             mis_repair_us: t_mis.duration_since(t_matching).as_micros() as u64,
             page_repack_us: t_mis.elapsed().as_micros() as u64,
         };
+        if let Some(m) = &mut self.metrics {
+            m.record_batch(
+                &self.graph,
+                self.matching.pending_index_capacity(),
+                &mis_repair,
+                &matching_repair,
+            );
+        }
 
         BatchReport {
             edges_inserted: inserted.len(),

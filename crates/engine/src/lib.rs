@@ -65,15 +65,17 @@
 pub mod dyn_graph;
 pub mod engine;
 pub mod matching;
+pub mod metrics;
 mod mis;
 pub mod priority;
 pub mod snapshot;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::dyn_graph::{DynGraph, SlotUpdate};
+    pub use crate::dyn_graph::{DynGraph, RebuildTrigger, SlotUpdate};
     pub use crate::engine::{BatchReport, BatchTimings, EdgeBatch, Engine, EngineStats, Snapshot};
     pub use crate::matching::MatchDelta;
+    pub use crate::metrics::EngineMetrics;
     pub use crate::priority::{edge_permutation, edge_priority, vertex_permutation};
     pub use crate::snapshot::ServerSnapshot;
 }

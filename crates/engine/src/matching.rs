@@ -210,6 +210,14 @@ impl MatchingState {
         &self.partner
     }
 
+    /// Total capacity retained across the per-vertex pending-slot lists —
+    /// the repair working memory this state keeps allocated between batches
+    /// (the lists drain to *empty* after every repair but keep their
+    /// buffers). Exposed as an engine-internals gauge.
+    pub(crate) fn pending_index_capacity(&self) -> usize {
+        self.pending_at.iter().map(|l| l.capacity()).sum()
+    }
+
     /// True when edge `{u, v}` is currently matched.
     #[inline]
     pub fn is_matched(&self, u: u32, v: u32) -> bool {

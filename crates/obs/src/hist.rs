@@ -91,6 +91,33 @@ impl Histogram {
         self.record(d.as_micros() as u64);
     }
 
+    /// Folds `other`'s recorded samples into this histogram, bucket-wise:
+    /// every bucket count is added, `count`/`sum` are added, and `max`/`min`
+    /// are widened. Because every [`Histogram`] shares the same fixed bucket
+    /// layout, the merged histogram is exactly what recording both sample
+    /// streams into one instrument would have produced — the primitive
+    /// per-shard registries need ([`crate::Registry::merge`]).
+    ///
+    /// Reads `other` with relaxed loads: exact once its recording threads are
+    /// quiesced, may miss a few in-flight samples otherwise (never corrupts).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let c = src.load(Ordering::Relaxed);
+            if c > 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        // `min` idles at `u64::MAX`, so merging an empty histogram is a no-op.
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Samples recorded so far (exact).
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -249,6 +276,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    proptest! {
+        /// The `merge_from` satellite: merging two independently recorded
+        /// histograms must be indistinguishable from recording the union
+        /// stream into one — identical buckets/totals, and therefore every
+        /// merged quantile equals the union stream's within one log bucket
+        /// (the same 1/8 relative bound a single histogram carries).
+        #[test]
+        fn merged_quantiles_equal_union_stream_within_bucket_error(
+            left in proptest::collection::vec(0u64..1_000_000, 0..200),
+            right in proptest::collection::vec(0u64..1_000_000, 1..200),
+            q_pcts in proptest::collection::vec(0u32..101, 1..8),
+        ) {
+            if crate::ENABLED {
+                let a = Histogram::new();
+                let b = Histogram::new();
+                for &v in &left {
+                    a.record(v);
+                }
+                for &v in &right {
+                    b.record(v);
+                }
+                a.merge_from(&b);
+                let union_h = Histogram::new();
+                let mut union: Vec<u64> = left.iter().chain(&right).copied().collect();
+                for &v in &union {
+                    union_h.record(v);
+                }
+                union.sort_unstable();
+                let merged = a.snapshot();
+                let oracle = union_h.snapshot();
+                // Bucket-for-bucket identical to the union recording...
+                prop_assert_eq!(merged.nonzero_buckets(), oracle.nonzero_buckets());
+                prop_assert_eq!(
+                    (merged.count, merged.sum, merged.min, merged.max),
+                    (oracle.count, oracle.sum, oracle.min, oracle.max)
+                );
+                // ...hence every quantile is within one log bucket of the
+                // union stream's true rank value.
+                for &pct in &q_pcts {
+                    let q = pct as f64 / 100.0;
+                    let truth = union[((union.len() - 1) as f64 * q).round() as usize];
+                    let got = merged.quantile(q);
+                    prop_assert!(got >= truth, "q={} merged {} < true {}", q, got, truth);
+                    prop_assert!(
+                        got <= truth + truth / SUB + 1,
+                        "q={} merged {} above one-bucket bound for true {}",
+                        q, got, truth
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let a = Histogram::new();
+        a.record(7);
+        a.record(900);
+        let before = a.snapshot();
+        a.merge_from(&Histogram::new());
+        let after = a.snapshot();
+        assert_eq!(before.nonzero_buckets(), after.nonzero_buckets());
+        assert_eq!(
+            (before.count, before.sum, before.min, before.max),
+            (after.count, after.sum, after.min, after.max)
+        );
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! Dependency-free observability primitives for the serving stack: atomic
 //! [`Counter`]s and [`Gauge`]s, a lock-free log-bucketed [`Histogram`] with
 //! p50/p90/p99/max snapshots, a [`Registry`] with deterministic
-//! Prometheus-style text exposition, and a [`FlightRecorder`] ring that keeps
-//! the last K structured records (the server stores one per-round commit
-//! timeline in it).
+//! Prometheus-style text exposition (mergeable across shards via
+//! [`Registry::merge`]), a [`FlightRecorder`] ring that keeps the last K
+//! structured records (the server stores one per-round commit timeline in
+//! it), and an [`EventJournal`] ring of typed, timestamped
+//! rare-but-diagnostic events (arena rebuilds, WAL checkpoints, fsync
+//! stalls, subscriber resyncs).
 //!
 //! Design rules, in the same spirit as `greedy_server`:
 //!
@@ -29,10 +32,12 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod journal;
 pub mod recorder;
 pub mod registry;
 
 pub use hist::{Histogram, HistogramSnapshot};
+pub use journal::{Event, EventJournal, EventKind};
 pub use recorder::FlightRecorder;
 pub use registry::Registry;
 

@@ -87,4 +87,76 @@ mod tests {
         r.push(1);
         assert!(r.recent().is_empty());
     }
+
+    #[test]
+    fn concurrent_push_and_recent_stress() {
+        // Several pushers race several readers: every `recent()` view must
+        // be internally consistent (strictly increasing per pusher, never
+        // over capacity), and once the pushers are joined the ring holds
+        // exactly the last `capacity` records pushed.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        const CAP: usize = 64;
+        const PUSHERS: u64 = 4;
+        const PER: u64 = 2_000;
+        let r = Arc::new(FlightRecorder::new(CAP));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let r = r.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut views = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let view: Vec<(u64, u64)> = r.recent();
+                        assert!(view.len() <= CAP, "ring exceeded capacity");
+                        // Per-pusher sequence numbers must come out strictly
+                        // increasing: eviction is oldest-first, so a pusher's
+                        // surviving records keep their push order.
+                        for p in 0..PUSHERS {
+                            let seqs: Vec<u64> = view
+                                .iter()
+                                .filter(|&&(id, _)| id == p)
+                                .map(|&(_, s)| s)
+                                .collect();
+                            assert!(
+                                seqs.windows(2).all(|w| w[0] < w[1]),
+                                "pusher {p} order torn: {seqs:?}"
+                            );
+                        }
+                        views += 1;
+                    }
+                    views
+                })
+            })
+            .collect();
+        let pushers: Vec<_> = (0..PUSHERS)
+            .map(|p| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for s in 0..PER {
+                        r.push((p, s));
+                    }
+                })
+            })
+            .collect();
+        for t in pushers {
+            t.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in readers {
+            assert!(t.join().unwrap() > 0, "reader never observed the ring");
+        }
+
+        let last = r.recent();
+        assert_eq!(last.len(), CAP, "quiesced ring holds exactly capacity");
+        // The globally last push is some pusher's final record; eviction
+        // only ever removes older entries, so it must have survived.
+        assert!(
+            last.iter().any(|&(_, s)| s == PER - 1),
+            "the final record was evicted"
+        );
+    }
 }

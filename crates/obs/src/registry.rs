@@ -102,6 +102,44 @@ impl Registry {
         self.lock().keys().cloned().collect()
     }
 
+    /// Folds `other`'s instruments into this registry by name: counters
+    /// **sum**, gauges take the **max** level, histograms merge bucket-wise
+    /// ([`Histogram::merge_from`]). A name absent here is registered first,
+    /// so merging into a fresh registry copies `other` — the per-shard
+    /// exposition path the ROADMAP's sharding item calls for: each shard
+    /// keeps its own registry and the scrape merges them all into one.
+    ///
+    /// `other`'s entries are snapshotted before any self-registration, so the
+    /// two registries' locks are never held at once (merging in both
+    /// directions concurrently cannot deadlock).
+    ///
+    /// # Panics
+    /// If a name is registered with different types in the two registries.
+    pub fn merge(&self, other: &Registry) {
+        let entries: Vec<(String, Metric)> = other
+            .lock()
+            .iter()
+            .map(|(name, metric)| {
+                let clone = match metric {
+                    Metric::Counter(c) => Metric::Counter(c.clone()),
+                    Metric::Gauge(g) => Metric::Gauge(g.clone()),
+                    Metric::Histogram(h) => Metric::Histogram(h.clone()),
+                };
+                (name.clone(), clone)
+            })
+            .collect();
+        for (name, metric) in entries {
+            match metric {
+                Metric::Counter(src) => self.counter(&name).add(src.get()),
+                Metric::Gauge(src) => {
+                    let dst = self.gauge(&name);
+                    dst.set(dst.get().max(src.get()));
+                }
+                Metric::Histogram(src) => self.histogram(&name).merge_from(&src),
+            }
+        }
+    }
+
     /// Renders every metric in Prometheus text-exposition style, sorted by
     /// name. Counters and gauges emit one `# TYPE` line and one value line;
     /// histograms emit `_count`/`_sum`/`_min`/`_max` plus
@@ -157,6 +195,49 @@ mod tests {
         let r = Registry::new();
         let _ = r.counter("x");
         let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_merges_histograms() {
+        if !crate::ENABLED {
+            return;
+        }
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("rounds_total").add(3);
+        b.counter("rounds_total").add(4);
+        b.counter("only_in_b_total").add(9);
+        a.gauge("subscribers").set(2);
+        b.gauge("subscribers").set(5);
+        a.histogram("latency_us").record(10);
+        b.histogram("latency_us").record(1000);
+
+        a.merge(&b);
+        assert_eq!(a.counter("rounds_total").get(), 7, "counters sum");
+        assert_eq!(a.counter("only_in_b_total").get(), 9, "absent names copy");
+        assert_eq!(a.gauge("subscribers").get(), 5, "gauges take the max");
+        let h = a.histogram("latency_us").snapshot();
+        assert_eq!((h.count, h.min, h.max), (2, 10, 1000));
+        // `b` is untouched.
+        assert_eq!(b.counter("rounds_total").get(), 4);
+
+        // Merging two shards into a fresh registry (the sharded-scrape
+        // shape) renders one combined exposition deterministically.
+        let combined = Registry::new();
+        combined.merge(&a);
+        assert_eq!(combined.render_text(), a.render_text());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn merge_type_mismatch_panics() {
+        // Registration (unlike recording) is not compiled out, so the
+        // mismatch panics in obs-off builds too.
+        let a = Registry::new();
+        let b = Registry::new();
+        let _ = a.counter("x");
+        let _ = b.gauge("x");
+        a.merge(&b);
     }
 
     /// The satellite's text-exposition roundtrip: render, parse the plain

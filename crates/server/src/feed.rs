@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use greedy_engine::prelude::BatchReport;
-use greedy_obs::{Counter, Gauge};
+use greedy_obs::{Counter, EventJournal, EventKind, Gauge};
 
 use crate::protocol::{
     DeltaFrame, MatchFlip, MAX_DELTA_MATCH_FLIPS, MAX_DELTA_MIS_FLIPS, SUBSCRIBE_FRESH,
@@ -119,6 +119,12 @@ struct FeedInstruments {
     pruned: Arc<Counter>,
 }
 
+/// Lag and prune transitions are rare (each lag forces a resync, each prune
+/// ends a subscription), so they also land in the shared event journal with
+/// the round that exposed them — attached separately from the instruments
+/// because tests exercise either alone.
+type JournalHandle = Option<Arc<EventJournal>>;
+
 struct FeedInner {
     /// The last `ring_capacity` deltas, oldest first; rounds are contiguous
     /// because the scheduler commits them in sequence.
@@ -128,6 +134,7 @@ struct FeedInner {
     subscribers: Vec<SubscriberSlot>,
     closed: bool,
     instruments: Option<FeedInstruments>,
+    journal: JournalHandle,
 }
 
 /// What [`DeltaFeed::subscribe_from`] hands a forwarder.
@@ -170,6 +177,7 @@ impl DeltaFeed {
                 subscribers: Vec::new(),
                 closed: false,
                 instruments: None,
+                journal: None,
             }),
             ring_capacity,
         }
@@ -190,6 +198,12 @@ impl DeltaFeed {
         });
     }
 
+    /// Attaches the shared event journal: every lag (dropped delta) and
+    /// prune (disconnected subscriber) is journalled with its round.
+    pub fn attach_journal(&self, journal: Arc<EventJournal>) {
+        crate::rounds::lock_unpoisoned(&self.inner).journal = Some(journal);
+    }
+
     /// Publishes one committed round: appends to the ring (evicting the
     /// oldest entry at capacity) and offers the delta to every subscriber
     /// without blocking. A subscriber whose channel is full is marked
@@ -202,6 +216,8 @@ impl DeltaFeed {
         inner.last_round = delta.round;
         inner.ring.push_back(delta.clone());
         let instr = inner.instruments.clone();
+        let journal = inner.journal.clone();
+        let round = delta.round;
         inner.subscribers.retain(|sub| {
             match sub.sender.try_send(delta.clone()) {
                 Ok(()) => true,
@@ -212,12 +228,18 @@ impl DeltaFeed {
                     if let Some(i) = &instr {
                         i.lagged.inc();
                     }
+                    if let Some(j) = &journal {
+                        j.record(EventKind::FeedLag { round });
+                    }
                     true
                 }
                 Err(mpsc::TrySendError::Disconnected(_)) => {
                     if let Some(i) = &instr {
                         i.pruned.inc();
                         i.subscribers.dec();
+                    }
+                    if let Some(j) = &journal {
+                        j.record(EventKind::FeedPrune { round });
                     }
                     false
                 }

@@ -83,7 +83,8 @@ pub mod prelude {
     pub use crate::feed::{DeltaFeed, FullDelta};
     pub use crate::metrics::{RoundTrace, ServerMetrics};
     pub use crate::protocol::{
-        DeltaFrame, MatchFlip, Request, Response, RoundDelta, SnapshotChunk, StatsReply,
+        encode_round_traces, DeltaFrame, MatchFlip, Request, Response, RoundDelta, SnapshotChunk,
+        StatsReply,
     };
     pub use crate::replica::{snapshot_chunks, FoldError, ReplicaState, SnapshotAssembler};
     pub use crate::rounds::{CommitSinks, CommittedRound, RoundConfig, RoundScheduler};

@@ -47,14 +47,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use greedy_obs::{Counter, FlightRecorder, Gauge, Histogram, Registry};
+use greedy_engine::prelude::EngineMetrics;
+use greedy_obs::{Counter, EventJournal, EventKind, FlightRecorder, Gauge, Histogram, Registry};
 
 /// How many per-round timelines the flight recorder retains.
 pub const FLIGHT_RECORDER_ROUNDS: usize = 128;
 
 /// One committed round's timeline, as kept by the flight recorder and fed
 /// into the commit histograms. All durations in whole microseconds.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundTrace {
     /// Round id.
     pub round: u64,
@@ -94,6 +95,14 @@ pub struct RoundTrace {
 pub struct ServerMetrics {
     registry: Registry,
     recorder: FlightRecorder<RoundTrace>,
+    /// The structured event journal every rare-transition feeder (engine
+    /// arena, WAL, feed) appends to; rendered as comment lines at the tail
+    /// of the exposition.
+    journal: Arc<EventJournal>,
+    /// The engine-internals instrument set. The engine thread records into a
+    /// clone attached via `Engine::attach_metrics`; this copy shares the
+    /// same `Arc`'d instruments, so the exposition sees every sample.
+    engine: EngineMetrics,
     /// Micros since `epoch` of the latest snapshot publication; `u64::MAX`
     /// until the first (age reads as 0 before any publication).
     last_publish_us: AtomicU64,
@@ -118,6 +127,10 @@ pub struct ServerMetrics {
     repair_flips: Arc<Counter>,
     wal_appends: Arc<Counter>,
     wal_checkpoints: Arc<Counter>,
+    /// `committed_round - durable_round`: how many acked rounds the disk is
+    /// behind. Pinned at 0 under `FsyncPolicy::PerRound` (and without a
+    /// WAL); oscillates in `0..k` under `EveryRounds(k)`.
+    durable_lag: Arc<Gauge>,
 
     // Read path (connection workers).
     query_us: Arc<Histogram>,
@@ -142,7 +155,10 @@ impl ServerMetrics {
     /// A fresh instrument set with every metric registered.
     pub fn new() -> Self {
         let registry = Registry::new();
+        let journal = Arc::new(EventJournal::default());
         Self {
+            engine: EngineMetrics::new(journal.clone()),
+            journal,
             recorder: FlightRecorder::new(FLIGHT_RECORDER_ROUNDS),
             last_publish_us: AtomicU64::new(u64::MAX),
             epoch: Instant::now(),
@@ -164,6 +180,7 @@ impl ServerMetrics {
             repair_flips: registry.counter("server_repair_flips_total"),
             wal_appends: registry.counter("server_wal_appends_total"),
             wal_checkpoints: registry.counter("server_wal_checkpoints_total"),
+            durable_lag: registry.gauge("server_durable_lag"),
             query_us: registry.histogram("server_query_us"),
             snapshot_age_us: registry.histogram("server_snapshot_age_us"),
             queries: registry.counter("server_queries_total"),
@@ -229,9 +246,11 @@ impl ServerMetrics {
         self.connections.inc();
     }
 
-    /// One full-snapshot resync served to a subscriber.
-    pub fn record_feed_resync(&self) {
+    /// One full-snapshot resync served to a subscriber, to the snapshot at
+    /// `round`.
+    pub fn record_feed_resync(&self, round: u64) {
         self.feed_resyncs.inc();
+        self.journal.record(EventKind::FeedResync { round });
     }
 
     /// WAL append done; `checkpointed` when the periodic checkpoint fired.
@@ -240,6 +259,12 @@ impl ServerMetrics {
         if checkpointed {
             self.wal_checkpoints.inc();
         }
+    }
+
+    /// Updates the durable-lag gauge (`committed_round - durable_round`)
+    /// after a round's WAL append.
+    pub fn set_durable_lag(&self, lag: u64) {
+        self.durable_lag.set(lag.min(i64::MAX as u64) as i64);
     }
 
     /// Full-snapshot resyncs served so far (the stats path reads this
@@ -259,8 +284,23 @@ impl ServerMetrics {
     }
 
     /// The underlying registry (for direct reads in tests and `serve_load`).
+    /// Holds the `server_*` instruments only; the `engine_*` set lives on
+    /// [`ServerMetrics::engine_metrics`] and both appear merged in
+    /// [`ServerMetrics::render_text`].
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The shared structured event journal (arena rebuilds, WAL checkpoints
+    /// and recovery, fsync stalls, subscriber lag/resync/prune).
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// The engine-internals instrument set; `serve_on` attaches a clone to
+    /// the engine so `apply_batch` records arena and repair internals here.
+    pub fn engine_metrics(&self) -> &EngineMetrics {
+        &self.engine
     }
 
     /// Repair-rounds histogram of the MIS (the paper's depth observable).
@@ -278,10 +318,18 @@ impl ServerMetrics {
         self.recorder.recent()
     }
 
-    /// The full text exposition (deterministic order; see
-    /// [`greedy_obs::Registry::render_text`]).
+    /// The full text exposition: the `server_*` and `engine_*` instrument
+    /// sets merged into one deterministically-ordered listing (via
+    /// [`greedy_obs::Registry::merge`] — the same primitive a sharded
+    /// aggregator would use), followed by the event journal as `#` comment
+    /// lines. Deterministic on a quiesced server, like each part.
     pub fn render_text(&self) -> String {
-        self.registry.render_text()
+        let merged = Registry::new();
+        merged.merge(&self.registry);
+        merged.merge(self.engine.registry());
+        let mut out = merged.render_text();
+        out.push_str(&self.journal.render_text());
+        out
     }
 }
 
@@ -317,6 +365,7 @@ mod tests {
             "server_feed_resyncs_total",
             "server_wal_appends_total",
             "server_wal_checkpoints_total",
+            "server_durable_lag",
             "server_feed_subscribers",
             "server_query_us",
             "server_snapshot_age_us",
@@ -330,6 +379,11 @@ mod tests {
         let text = m.render_text();
         assert!(text.contains("server_rounds_committed_total 0"));
         assert!(text.contains("server_commit_total_us_count 0"));
+        assert!(text.contains("server_durable_lag 0"));
+        // The exposition also carries the merged engine set and the journal.
+        assert!(text.contains("engine_rebuilds_total 0"));
+        assert!(text.contains("engine_arena_capacity 0"));
+        assert!(text.contains("# event_journal retained=0 total=0"));
     }
 
     #[test]

@@ -24,6 +24,8 @@
 
 use std::io::{self, Read, Write};
 
+use crate::metrics::RoundTrace;
+
 /// Hard ceiling on a frame's payload length (16 MiB — a 1M-edge batch is
 /// ~8 MB, so real traffic fits with headroom).
 pub const MAX_FRAME_LEN: u32 = 16 << 20;
@@ -95,6 +97,15 @@ pub enum Request {
     Subscribe {
         /// Round of the subscriber's base state, or [`SUBSCRIBE_FRESH`].
         from: u64,
+    },
+    /// The flight recorder's most recent per-round commit timelines —
+    /// answered with [`Response::Trace`] carrying at most `last_k` records
+    /// (the newest ones; the recorder itself retains a bounded window, so a
+    /// huge `last_k` just means "everything retained").
+    Trace {
+        /// Upper bound on records returned; the server clamps it to what the
+        /// recorder holds, so a lying value cannot size any allocation.
+        last_k: u64,
     },
 }
 
@@ -225,6 +236,10 @@ pub struct StatsReply {
     pub commit_p50_us: u64,
     /// p99 of whole-round commit latency in µs (same caveats).
     pub commit_p99_us: u64,
+    /// `round - durable_round`: committed rounds not yet durable on disk.
+    /// 0 when serving memory-only or under the per-round fsync policy;
+    /// bounded by the group size under group fsync.
+    pub durable_lag: u64,
 }
 
 /// Wire version of the [`StatsReply`] body: a tagged field block (version
@@ -238,7 +253,7 @@ pub const STATS_VERSION: u8 = 2;
 
 /// Field ids of the [`StatsReply`] wire block, in `(id, value)` order. Ids
 /// are append-only: never reuse or renumber one.
-const STATS_FIELDS: usize = 13;
+const STATS_FIELDS: usize = 14;
 
 impl StatsReply {
     /// Field block `(id, value)` pairs in encode order.
@@ -257,6 +272,7 @@ impl StatsReply {
             (11, self.resyncs),
             (12, self.commit_p50_us),
             (13, self.commit_p99_us),
+            (14, self.durable_lag),
         ]
     }
 
@@ -285,6 +301,7 @@ impl StatsReply {
             11 => self.resyncs = value,
             12 => self.commit_p50_us = value,
             13 => self.commit_p99_us = value,
+            14 => self.durable_lag = value,
             // Unknown id: a field from a newer server. Skipped, not fatal —
             // that is the point of the versioned block.
             _ => {}
@@ -347,12 +364,113 @@ pub enum Response {
     ShuttingDown,
     /// Push-style round delta on a subscribed connection.
     Delta(DeltaFrame),
+    /// Flight-recorder timelines, oldest first ([`Request::Trace`]). The
+    /// body is the versioned block of [`encode_round_traces`], so the wire
+    /// bytes are identical to an in-process encoding of
+    /// `ServerHandle::recent_rounds()` on a quiesced server.
+    Trace(Vec<RoundTrace>),
     /// One chunk of a full-snapshot stream on a subscribed connection.
     Snapshot(SnapshotChunk),
     /// The request could not be served; the connection closes after a
     /// protocol-level error, stays open for domain errors (e.g. a vertex id
     /// out of range).
     Error(String),
+}
+
+/// Version byte of the [`Response::Trace`] body. Bump only on an
+/// incompatible re-layout; appending fields bumps [`TRACE_FIELDS`] instead
+/// (decoders skip fields they do not know, like the stats block's ids).
+pub const TRACE_VERSION: u8 = 1;
+
+/// `u64` fields per trace record, in [`RoundTrace`] declaration order.
+/// Append-only: new fields go at the end so old decoders can skip them.
+pub const TRACE_FIELDS: u8 = 15;
+
+/// One record's fields in wire order ([`RoundTrace`] declaration order).
+fn trace_fields(t: &RoundTrace) -> [u64; TRACE_FIELDS as usize] {
+    [
+        t.round,
+        t.updates,
+        t.stage_wait_us,
+        t.apply_us,
+        t.repair_us,
+        t.wal_us,
+        t.publish_us,
+        t.feed_us,
+        t.total_us,
+        t.mis_rounds,
+        t.matching_rounds,
+        t.max_frontier,
+        t.decided,
+        t.flips,
+        t.pages,
+    ]
+}
+
+/// The versioned binary encoding of a trace list: version byte, fields per
+/// record, `u64` record count, then [`TRACE_FIELDS`] little-endian `u64`s per
+/// record. This is the **canonical** encoding for flight-recorder timelines:
+/// the [`Response::Trace`] wire body is exactly these bytes, so a TCP client
+/// and an in-process `ServerHandle::recent_rounds()` caller can compare
+/// recordings byte for byte.
+pub fn encode_round_traces(traces: &[RoundTrace]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2 + 8 + traces.len() * 8 * TRACE_FIELDS as usize);
+    buf.push(TRACE_VERSION);
+    buf.push(TRACE_FIELDS);
+    put_u64(&mut buf, traces.len() as u64);
+    for t in traces {
+        for f in trace_fields(t) {
+            put_u64(&mut buf, f);
+        }
+    }
+    buf
+}
+
+/// Decodes a trace body written by [`encode_round_traces`]. The record count
+/// is checked against the bytes actually present before any allocation, and
+/// records from a newer encoder (more fields per record) have their unknown
+/// tail fields skipped.
+pub(crate) fn read_trace_body(c: &mut Cursor<'_>) -> io::Result<Vec<RoundTrace>> {
+    let version = c.u8()?;
+    if version < TRACE_VERSION {
+        return Err(malformed(format!("bad trace version {version}")));
+    }
+    let fields = c.u8()? as usize;
+    if fields < TRACE_FIELDS as usize {
+        return Err(malformed(format!(
+            "trace records carry {fields} fields, need at least {TRACE_FIELDS}"
+        )));
+    }
+    let count = c.u64()?;
+    c.check_list(count, fields * 8)?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let mut vals = [0u64; TRACE_FIELDS as usize];
+        for v in &mut vals {
+            *v = c.u64()?;
+        }
+        for _ in TRACE_FIELDS as usize..fields {
+            let _ = c.u64()?;
+        }
+        out.push(RoundTrace {
+            round: vals[0],
+            updates: vals[1],
+            stage_wait_us: vals[2],
+            apply_us: vals[3],
+            repair_us: vals[4],
+            wal_us: vals[5],
+            publish_us: vals[6],
+            feed_us: vals[7],
+            total_us: vals[8],
+            mis_rounds: vals[9],
+            matching_rounds: vals[10],
+            max_frontier: vals[11],
+            decided: vals[12],
+            flips: vals[13],
+            pages: vals[14],
+        });
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------- encoding
@@ -514,6 +632,10 @@ impl Request {
                 put_u64(&mut buf, *from);
             }
             Request::Metrics => buf.push(8),
+            Request::Trace { last_k } => {
+                buf.push(9);
+                put_u64(&mut buf, *last_k);
+            }
         }
         buf
     }
@@ -531,6 +653,7 @@ impl Request {
             6 => Request::Shutdown,
             7 => Request::Subscribe { from: c.u64()? },
             8 => Request::Metrics,
+            9 => Request::Trace { last_k: c.u64()? },
             tag => return Err(malformed(format!("unknown request tag {tag}"))),
         };
         c.finish()?;
@@ -591,6 +714,10 @@ impl Response {
                 buf.push(8);
                 put_snapshot_chunk(&mut buf, s);
             }
+            Response::Trace(traces) => {
+                buf.push(11);
+                buf.extend_from_slice(&encode_round_traces(traces));
+            }
             Response::Error(msg) => {
                 buf.push(6);
                 put_list_len(&mut buf, msg.len());
@@ -645,6 +772,7 @@ impl Response {
             }
             7 => Response::Delta(read_delta_body(&mut c)?),
             8 => Response::Snapshot(read_snapshot_chunk_body(&mut c)?),
+            11 => Response::Trace(read_trace_body(&mut c)?),
             6 => {
                 let len = c.list_len(1)?;
                 let bytes = c.bytes(len)?;
@@ -765,6 +893,22 @@ impl<'a> Cursor<'a> {
         Ok(count)
     }
 
+    /// Checks that a `u64` element count's worth of bytes is actually
+    /// present — the [`Cursor::list_len`] guard for counts wider than `u32`.
+    pub(crate) fn check_list(&self, count: u64, elem_size: usize) -> io::Result<()> {
+        let need = usize::try_from(count)
+            .ok()
+            .and_then(|c| c.checked_mul(elem_size))
+            .ok_or_else(|| malformed("list count overflow".into()))?;
+        if self.pos + need > self.buf.len() {
+            return Err(malformed(format!(
+                "list claims {count} elements but payload has {} bytes left",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
     pub(crate) fn vertices(&mut self) -> io::Result<Vec<u32>> {
         let len = self.list_len(4)?;
         (0..len).map(|_| self.u32()).collect()
@@ -823,6 +967,9 @@ mod tests {
         roundtrip_request(Request::Subscribe {
             from: SUBSCRIBE_FRESH,
         });
+        roundtrip_request(Request::Trace { last_k: 0 });
+        roundtrip_request(Request::Trace { last_k: 32 });
+        roundtrip_request(Request::Trace { last_k: u64::MAX });
     }
 
     #[test]
@@ -863,6 +1010,7 @@ mod tests {
             resyncs: 1,
             commit_p50_us: 340,
             commit_p99_us: 1200,
+            durable_lag: 1,
         }));
         roundtrip_response(Response::Stats(StatsReply::default()));
         roundtrip_response(Response::ShuttingDown);
@@ -1015,6 +1163,76 @@ mod tests {
         chunk.start = 64;
         chunk.mis_words = vec![0, 0];
         assert!(Response::decode(&Response::Snapshot(chunk).encode()).is_err());
+    }
+
+    #[test]
+    fn trace_frames_roundtrip_and_reject_malformed_bodies() {
+        let trace = |round: u64| RoundTrace {
+            round,
+            updates: 10 * round,
+            stage_wait_us: 5,
+            apply_us: 100,
+            repair_us: 60,
+            wal_us: 3,
+            publish_us: 7,
+            feed_us: 1,
+            total_us: 113,
+            mis_rounds: round,
+            matching_rounds: 1,
+            max_frontier: 4,
+            decided: 8,
+            flips: 2,
+            pages: 3,
+        };
+        roundtrip_response(Response::Trace(vec![]));
+        roundtrip_response(Response::Trace(vec![trace(1), trace(2), trace(3)]));
+
+        // The wire body after the tag byte IS the canonical encoding.
+        let traces = vec![trace(7), trace(8)];
+        let wire = Response::Trace(traces.clone()).encode();
+        assert_eq!(wire[0], 11);
+        assert_eq!(&wire[1..], &encode_round_traces(&traces)[..]);
+
+        // A count lying about the records present is rejected before any
+        // allocation can be sized from it.
+        let mut buf = vec![11u8, TRACE_VERSION, TRACE_FIELDS];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Response::decode(&buf).is_err());
+        let mut buf = vec![11u8, TRACE_VERSION, TRACE_FIELDS];
+        buf.extend_from_slice(&3u64.to_le_bytes()); // claims 3, carries 1
+        for f in 0..TRACE_FIELDS as u64 {
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        assert!(Response::decode(&buf).is_err());
+
+        // Truncated mid-record.
+        let mut buf = Response::Trace(vec![trace(1)]).encode();
+        buf.truncate(buf.len() - 3);
+        assert!(Response::decode(&buf).is_err());
+        // Trailing garbage.
+        let mut buf = Response::Trace(vec![trace(1)]).encode();
+        buf.push(0);
+        assert!(Response::decode(&buf).is_err());
+
+        // A stale version or a narrower record layout is malformed...
+        let mut buf = Response::Trace(vec![]).encode();
+        buf[1] = 0;
+        assert!(Response::decode(&buf).is_err());
+        let mut buf = Response::Trace(vec![]).encode();
+        buf[2] = TRACE_FIELDS - 1;
+        assert!(Response::decode(&buf).is_err());
+        // ...but a *wider* record (a future encoder appended fields) decodes
+        // with the unknown tail skipped.
+        let mut buf = vec![11u8, TRACE_VERSION, TRACE_FIELDS + 1];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        for f in trace_fields(&trace(5)) {
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        buf.extend_from_slice(&999u64.to_le_bytes()); // the unknown field
+        assert_eq!(
+            Response::decode(&buf).unwrap(),
+            Response::Trace(vec![trace(5)])
+        );
     }
 
     #[test]

@@ -381,6 +381,10 @@ impl RoundScheduler {
                 };
                 if let Some(m) = obs {
                     m.record_wal_append(checkpointed);
+                    // How far the disk trails the ack we are about to give:
+                    // 0 under `PerRound`, sawtooths in `0..k` under
+                    // `EveryRounds(k)`.
+                    m.set_durable_lag(round.saturating_sub(wal.durable_round()));
                 }
             }
             let t_wal = obs.map(|_| Instant::now());

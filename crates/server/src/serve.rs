@@ -180,6 +180,13 @@ impl ServerHandle {
             .unwrap_or_default()
     }
 
+    /// The newest `last_k` retained round timelines, oldest first — exactly
+    /// what the [`Request::Trace`] wire frame returns (the wire body is
+    /// [`crate::protocol::encode_round_traces`] over this same vector).
+    pub fn trace(&self, last_k: u64) -> Vec<RoundTrace> {
+        recent_rounds_tail(&self.shared, last_k)
+    }
+
     /// Drains staged updates into a final round, stops accepting, closes
     /// every connection, joins every thread, and returns the final engine
     /// plus the recorded rounds.
@@ -257,16 +264,26 @@ pub fn serve_on<A: ToSocketAddrs>(
     let listener = TcpListener::bind(addr)?;
     // Recover-or-create the WAL before anything is published: a directory
     // with a log in it is authoritative over the engine argument.
-    let (engine, base_round, wal_writer) = match &config.wal {
-        None => (engine, 0, None),
+    let (mut engine, base_round, mut wal_writer, recovery) = match &config.wal {
+        None => (engine, 0, None, None),
         Some(wal_cfg) => match wal::recover(&wal_cfg.dir)? {
             Some(recovered) => {
                 let writer = Wal::reopen(wal_cfg.clone(), &recovered)?;
-                (recovered.engine, recovered.round, Some(writer))
+                let outcome = (
+                    recovered.round,
+                    recovered.replayed,
+                    recovered.tail_truncated,
+                );
+                (
+                    recovered.engine,
+                    recovered.round,
+                    Some(writer),
+                    Some(outcome),
+                )
             }
             None => {
                 let writer = Wal::create(wal_cfg.clone(), &engine, 0)?;
-                (engine, 0, Some(writer))
+                (engine, 0, Some(writer), None)
             }
         },
     };
@@ -275,10 +292,28 @@ pub fn serve_on<A: ToSocketAddrs>(
         .map(|w| w.durable_handle())
         .unwrap_or_default();
     let metrics = config.metrics.then(|| Arc::new(ServerMetrics::new()));
+    if let Some(m) = &metrics {
+        // The journal's first entry is how the server came up; the engine
+        // gets its instrument clone before the engine thread starts, so even
+        // round 1's `apply_batch` records arena internals (and the clone's
+        // first record picks up the initial build + recovery replay history).
+        if let Some((round, replayed, tail_truncated)) = recovery {
+            m.journal().record(greedy_obs::EventKind::WalRecovery {
+                round,
+                replayed,
+                tail_truncated,
+            });
+        }
+        engine.attach_metrics(m.engine_metrics().clone());
+        if let Some(w) = &mut wal_writer {
+            w.attach_journal(m.journal().clone());
+        }
+    }
     let feed = DeltaFeed::with_base_round(config.delta_ring, base_round);
     if let Some(m) = &metrics {
         let (subscribers, lagged, pruned) = m.feed_instruments();
         feed.instrument(subscribers, lagged, pruned);
+        feed.attach_journal(m.journal().clone());
     }
     let shared = Arc::new(Shared {
         scheduler: RoundScheduler::with_base_round(config.rounds, base_round),
@@ -516,14 +551,14 @@ fn run_subscriber(from: u64, writer: &mut BufWriter<TcpStream>, shared: &Shared)
     }
     loop {
         if need_snapshot {
-            if let Some(m) = &shared.metrics {
-                m.record_feed_resync();
-            }
             // Clear the lag flag *before* loading the snapshot: a flag set
             // after this point refers to a round the snapshot may predate,
             // so it must survive into the next iteration and resync again.
             sub.lagging.store(false, Ordering::SeqCst);
             let snap = shared.cell.load();
+            if let Some(m) = &shared.metrics {
+                m.record_feed_resync(snap.round);
+            }
             for chunk in snapshot_chunks(snap.round, &snap.state) {
                 if send(writer, &Response::Snapshot(chunk)).is_err() {
                     return;
@@ -591,6 +626,20 @@ fn metrics_text(shared: &Shared) -> String {
     }
 }
 
+/// The newest `last_k` flight-recorder traces, oldest first — what both
+/// `ServerHandle::trace` and the [`Request::Trace`] wire frame return.
+/// `last_k` is clamped to what the recorder retains, so a lying client can
+/// never size an allocation with it.
+fn recent_rounds_tail(shared: &Shared, last_k: u64) -> Vec<RoundTrace> {
+    let all = shared
+        .metrics
+        .as_deref()
+        .map(ServerMetrics::recent_rounds)
+        .unwrap_or_default();
+    let take = usize::try_from(last_k).unwrap_or(usize::MAX).min(all.len());
+    all[all.len() - take..].to_vec()
+}
+
 fn dispatch(request: Request, shared: &Shared) -> Response {
     match request {
         Request::InsertEdges(pairs) => submit_updates(shared, &pairs, true),
@@ -634,9 +683,18 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
         }
         Request::Stats => {
             let snap = shared.cell.load();
+            let durable = shared.durable.load(Ordering::SeqCst);
             let mut reply = StatsReply {
                 round: snap.round,
-                durable_round: shared.durable.load(Ordering::SeqCst),
+                durable_round: durable,
+                // Without a WAL `durable` stays 0, which would make every
+                // round look lost; lag is only meaningful against the rounds
+                // a log claims to hold.
+                durable_lag: if shared.wal.is_some() {
+                    snap.round.saturating_sub(durable)
+                } else {
+                    0
+                },
                 num_vertices: snap.state.num_vertices() as u64,
                 num_edges: snap.state.num_edges() as u64,
                 mis_size: snap.state.mis_size() as u64,
@@ -658,6 +716,7 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
             Response::Stats(reply)
         }
         Request::Metrics => Response::Metrics(metrics_text(shared)),
+        Request::Trace { last_k } => Response::Trace(recent_rounds_tail(shared, last_k)),
         Request::Shutdown => Response::ShuttingDown,
         // Handled by the connection loop before dispatch (it hijacks the
         // writer); kept here only for match exhaustiveness.
@@ -818,6 +877,16 @@ impl Client {
     pub fn metrics(&mut self) -> io::Result<String> {
         match self.call(&Request::Metrics)? {
             Response::Metrics(text) => Ok(text),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The newest `last_k` flight-recorder round timelines, oldest first
+    /// (see `ServerHandle::trace`). The server clamps `last_k` to what its
+    /// recorder retains, so asking for `u64::MAX` means "everything".
+    pub fn trace(&mut self, last_k: u64) -> io::Result<Vec<RoundTrace>> {
+        match self.call(&Request::Trace { last_k })? {
+            Response::Trace(traces) => Ok(traces),
             other => Err(Self::unexpected(other)),
         }
     }

@@ -54,10 +54,12 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use greedy_engine::prelude::{EdgeBatch, Engine};
 use greedy_graph::csr::Graph;
 use greedy_graph::edge_list::Edge;
+use greedy_obs::{EventJournal, EventKind};
 
 use crate::feed::FullDelta;
 use crate::protocol::{self, malformed, Cursor, DeltaFrame, SnapshotChunk};
@@ -82,6 +84,12 @@ const TAG_CKPT_SNAPSHOT: u8 = 4;
 
 /// Edges per checkpoint edge-chunk record (8 MB of pairs).
 const CKPT_EDGE_CHUNK: usize = 1 << 20;
+
+/// An fsync slower than this (µs) is journalled as a
+/// [`EventKind::WalFsyncStall`] — a healthy local disk syncs a few-KB
+/// append in well under a millisecond, so 50 ms means the device (or the
+/// writeback queue in front of it) is in trouble.
+const FSYNC_STALL_US: u64 = 50_000;
 
 /// When to fsync appended round records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -491,6 +499,9 @@ pub struct Wal {
     durable: Arc<AtomicU64>,
     /// Round of the newest checkpoint on disk.
     last_checkpoint: u64,
+    /// Event journal for checkpoints and fsync stalls (`None` until the
+    /// server attaches its shared journal).
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl Wal {
@@ -507,6 +518,7 @@ impl Wal {
             unsynced: 0,
             durable: Arc::new(AtomicU64::new(0)),
             last_checkpoint: 0,
+            journal: None,
         };
         wal.checkpoint(base_round, engine)?;
         wal.durable.store(base_round, Ordering::SeqCst);
@@ -525,8 +537,15 @@ impl Wal {
             unsynced: 0,
             durable: Arc::new(AtomicU64::new(recovered.round)),
             last_checkpoint: recovered.checkpoint_round,
+            journal: None,
         };
         Ok(wal)
+    }
+
+    /// Attaches the shared event journal: checkpoints and fsync stalls are
+    /// recorded from here on.
+    pub fn attach_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
     }
 
     /// The shared durable-round counter ([`crate::protocol::StatsReply::durable_round`]).
@@ -595,10 +614,22 @@ impl Wal {
         Ok(())
     }
 
-    /// Fsyncs the open segment and advances the durable counter.
+    /// Fsyncs the open segment and advances the durable counter. A sync
+    /// slower than [`FSYNC_STALL_US`] is journalled — the one commit-path
+    /// stall a healthy server should never show.
     pub fn sync(&mut self) -> io::Result<()> {
         if let Some(seg) = &self.seg {
+            let t0 = (greedy_obs::ENABLED && self.journal.is_some()).then(Instant::now);
             seg.file.sync_data()?;
+            if let (Some(j), Some(t0)) = (&self.journal, t0) {
+                let micros = t0.elapsed().as_micros() as u64;
+                if micros >= FSYNC_STALL_US {
+                    j.record(EventKind::WalFsyncStall {
+                        round: self.last_written,
+                        micros,
+                    });
+                }
+            }
         }
         self.unsynced = 0;
         self.durable.fetch_max(self.last_written, Ordering::SeqCst);
@@ -649,6 +680,9 @@ impl Wal {
         // State through `round` is now durable via the checkpoint even if
         // round records were never synced.
         self.durable.fetch_max(round, Ordering::SeqCst);
+        if let Some(j) = &self.journal {
+            j.record(EventKind::WalCheckpoint { round });
+        }
         if !self.cfg.retain_all {
             self.truncate_superseded(round)?;
         }

@@ -28,6 +28,9 @@ fn request_corpus() -> Vec<Vec<u8>> {
         Request::Subscribe {
             from: SUBSCRIBE_FRESH,
         },
+        Request::Trace { last_k: 0 },
+        Request::Trace { last_k: 32 },
+        Request::Trace { last_k: u64::MAX },
     ]
     .iter()
     .map(Request::encode)
@@ -80,6 +83,17 @@ fn response_corpus() -> Vec<Vec<u8>> {
             last: true,
         }),
         Response::Error("boom".into()),
+        Response::Trace(vec![
+            RoundTrace::default(),
+            RoundTrace {
+                round: 9,
+                updates: 4,
+                total_us: 120,
+                mis_rounds: 2,
+                ..RoundTrace::default()
+            },
+        ]),
+        Response::Trace(Vec::new()),
     ]
     .iter()
     .map(Response::encode)
@@ -197,6 +211,66 @@ fn lying_list_counts_do_not_allocate() {
     let mut buf = vec![6u8];
     buf.extend_from_slice(&u32::MAX.to_le_bytes());
     assert!(Response::decode(&buf).is_err());
+    // Trace record count (a u64): u64::MAX records in a 10-byte payload
+    // would otherwise reserve 120 exabytes of RoundTraces.
+    let mut buf = vec![11u8, 1, 15];
+    buf.extend_from_slice(&u64::MAX.to_le_bytes());
+    assert!(Response::decode(&buf).is_err());
+    // And a subtler liar: a count the remaining bytes cannot carry.
+    let mut buf = vec![11u8, 1, 15];
+    buf.extend_from_slice(&3u64.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 15 * 8]); // one record, not three
+    assert!(Response::decode(&buf).is_err());
+}
+
+/// `Request::Trace` over a live socket: a lying `last_k` cannot size any
+/// allocation (the server clamps to its recorder), truncated trace request
+/// bodies get an `Error` + close, and the server keeps serving.
+#[test]
+fn trace_requests_with_lying_or_truncated_bodies_are_harmless() {
+    let handle = serve(Engine::new(50, 3), ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.insert_edges(&[(0, 1), (2, 3)]).unwrap();
+
+    // A client claiming u64::MAX traces gets what the recorder holds.
+    let traces = client.trace(u64::MAX).unwrap();
+    assert_eq!(traces, handle.recent_rounds());
+
+    // Truncated Trace body (tag present, `last_k` cut short).
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let payload = [9u8, 5, 0, 0]; // needs 8 bytes of last_k
+        raw.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(&payload).unwrap();
+        let reply = read_one_frame(&mut raw);
+        assert!(matches!(
+            Response::decode(&reply).unwrap(),
+            Response::Error(_)
+        ));
+        assert_eof(&mut raw);
+    }
+    // Trace with trailing garbage.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut payload = Request::Trace { last_k: 1 }.encode();
+        payload.push(0xAA);
+        raw.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(&payload).unwrap();
+        let reply = read_one_frame(&mut raw);
+        assert!(matches!(
+            Response::decode(&reply).unwrap(),
+            Response::Error(_)
+        ));
+        assert_eof(&mut raw);
+    }
+
+    // Still serving.
+    let mut client = Client::connect(addr).unwrap();
+    client.insert_edges(&[(4, 5)]).unwrap();
+    handle.shutdown();
 }
 
 /// Deterministic garbage: random payloads must never panic the decoders.

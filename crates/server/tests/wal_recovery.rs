@@ -234,6 +234,16 @@ fn server_restart_resumes_rounds_and_state_from_the_log() {
     // authoritative, so the recovered server must serve the first life's
     // state and CONTINUE its round numbering, not restart at 1.
     let handle = serve(Engine::new(60, 4), config).expect("re-serve");
+    if greedy_obs::ENABLED {
+        // How this server came up is the journal's first entry.
+        let text = handle.metrics_text();
+        assert!(
+            text.contains(&format!(
+                "wal_recovery round={last_round} replayed=0 tail_truncated=false"
+            )),
+            "recovery outcome must be journalled, got:\n{text}"
+        );
+    }
     assert_eq!(handle.committed_round(), last_round);
     assert_eq!(handle.snapshot().round, last_round);
     assert_eq!(handle.snapshot().state, first_life);
@@ -244,6 +254,59 @@ fn server_restart_resumes_rounds_and_state_from_the_log() {
     let report = handle.shutdown();
     assert_eq!(report.engine.num_edges(), 3); // {3,4} {5,6} {7,8}
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_lag_is_nonzero_under_group_commit_and_zero_per_round() {
+    // Group commit fsyncs every 3rd round: after exactly one committed
+    // round nothing is synced yet, so the disk verifiably trails the ack.
+    let dir = scratch("lag");
+    let config = ServerConfig {
+        wal: Some(WalConfig {
+            fsync: FsyncPolicy::EveryRounds(3),
+            ..WalConfig::durable(dir.clone())
+        }),
+        ..ServerConfig::default()
+    };
+    let handle = serve(Engine::new(40, 6), config).expect("serve");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.insert_edges(&[(0, 1)]).expect("insert");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.round, 1);
+    assert_eq!(stats.durable_round, 0, "round 1 must not be synced yet");
+    assert_eq!(stats.durable_lag, 1, "StatsReply must expose the lag");
+    if greedy_obs::ENABLED {
+        assert!(
+            handle.metrics_text().contains("server_durable_lag 1"),
+            "the gauge must show the unsynced round"
+        );
+    }
+    // Two more rounds trip the group fsync: the sawtooth returns to zero.
+    client.insert_edges(&[(2, 3)]).expect("insert");
+    client.insert_edges(&[(4, 5)]).expect("insert");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.round, 3);
+    assert_eq!(stats.durable_round, 3);
+    assert_eq!(stats.durable_lag, 0);
+    if greedy_obs::ENABLED {
+        assert!(handle.metrics_text().contains("server_durable_lag 0"));
+    }
+    handle.shutdown();
+
+    // Per-round fsync never shows lag.
+    let dir2 = scratch("lag_per_round");
+    let config = ServerConfig {
+        wal: Some(WalConfig::durable(dir2.clone())),
+        ..ServerConfig::default()
+    };
+    let handle = serve(Engine::new(40, 6), config).expect("serve");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.insert_edges(&[(0, 1)]).expect("insert");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.durable_lag, 0, "PerRound acks only durable rounds");
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
 }
 
 #[test]
