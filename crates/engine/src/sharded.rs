@@ -1,0 +1,1243 @@
+//! Vertex-partitioned sharding of the batch-dynamic engine.
+//!
+//! [`ShardedEngine`] splits the vertex set into `S` contiguous ranges and
+//! gives every shard its **own** slack-CSR arena, matching state, MIS flags,
+//! and repair scratch. A shard's arena holds every edge incident to a vertex
+//! it owns, so a *cross* edge (endpoints in two shards) exists in both
+//! arenas — the owner is the shard of its canonical min endpoint, the other
+//! copy is a ghost the owner's decisions are mirrored into.
+//!
+//! A commit is two phases per server round, MPC-style:
+//!
+//! 1. **Local phase** — the batch is split by incidence and every shard, in
+//!    parallel, applies its structural sub-batch and repairs both greedy
+//!    fixed points *scoped to the slots/vertices it owns* (conflict walks
+//!    and wake-ups never leave the shard).
+//! 2. **Exchange rounds** — shards swap the boundary effects of the pass:
+//!    every owned MIS flip, every owned *cross*-edge matched flip, and every
+//!    owned partner entry written. Each shard applies the incoming flips
+//!    (change-gated, in ascending sender order — deterministic), wakes the
+//!    owned items whose greedy decision no longer matches their state, and
+//!    repairs again. The loop runs until no shard emits a message: with
+//!    fixed priorities the greedy solutions are *unique*, so this chaotic
+//!    relaxation can only quiesce at the same state the single engine
+//!    reaches (well-founded induction on the priority order), and every
+//!    message is change-gated, so it terminates.
+//!
+//! The **merge step** then runs sequentially: it replays the globally merged
+//! effective deletion/insertion lists through a [`SlotDirectory`] that
+//! mirrors the single arena's LIFO slot allocator — so the *public* slot ids
+//! in deltas, WAL records, and wire frames are identical for every shard
+//! count — folds the per-shard entry maps into the global net delta, and
+//! refreshes the copy-on-write serving pages. The published snapshot, delta
+//! stream, and WAL bytes are therefore byte-identical to a single-engine
+//! run, which the shard-count sweep tests assert directly.
+//!
+//! (The ISSUE sketch suggested encoding the shard in the high bits of the
+//! public slot id; that would make ids depend on `S` and break byte
+//! identity, so the directory keeps the single-arena id space instead and
+//! shard-local slots stay private.)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use greedy_core::dag::{RepairScratch, RepairStats};
+use greedy_graph::csr::Graph;
+use greedy_graph::edge_list::{Edge, EdgeList};
+use greedy_prims::util::par_map_blocks;
+
+use crate::dyn_graph::DynGraph;
+use crate::engine::{BatchReport, BatchTimings, EdgeBatch, EngineStats, Snapshot};
+use crate::matching::{matching_from_scratch, MatchDelta, MatchingState};
+use crate::metrics::EngineMetrics;
+use crate::mis::{mis_decide, mis_from_scratch, repair_mis_scoped, vertex_priorities};
+use crate::snapshot::{ServerSnapshot, PAGE_VERTICES};
+
+/// Exchange rounds after which a commit panics instead of looping — the
+/// greedy fixed point's dependence chains are far shorter than this; hitting
+/// the cap means the exchange protocol itself is broken.
+const MAX_EXCHANGE_ROUNDS: u64 = 10_000;
+
+/// The contiguous vertex range a shard owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardScope {
+    /// First owned vertex.
+    pub start: u32,
+    /// One past the last owned vertex.
+    pub end: u32,
+}
+
+impl ShardScope {
+    /// True when this scope owns vertex `v`.
+    #[inline]
+    pub fn owns(&self, v: u32) -> bool {
+        self.start <= v && v < self.end
+    }
+}
+
+/// The vertex partition: `S` contiguous blocks of `ceil(n / S)` vertices
+/// (the last block takes the remainder). An edge is owned by the shard of
+/// its canonical min endpoint.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    n: u32,
+    shards: u32,
+    block: u32,
+}
+
+impl ShardMap {
+    /// A partition of `n` vertices into `shards` contiguous blocks.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0 or `n` exceeds `u32` vertex ids.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "ShardMap: at least one shard");
+        let n32 = u32::try_from(n).expect("ShardMap: too many vertices for u32 ids");
+        let s = u32::try_from(shards).expect("ShardMap: shard count exceeds u32");
+        let block = if n32 == 0 { 1 } else { n32.div_ceil(s).max(1) };
+        Self {
+            n: n32,
+            shards: s,
+            block,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: u32) -> u32 {
+        (v / self.block).min(self.shards - 1)
+    }
+
+    /// The vertex range shard `i` owns.
+    pub fn scope(&self, i: u32) -> ShardScope {
+        debug_assert!(i < self.shards);
+        let start = (u64::from(i) * u64::from(self.block)).min(u64::from(self.n)) as u32;
+        let end = if i + 1 == self.shards {
+            self.n
+        } else {
+            (u64::from(i + 1) * u64::from(self.block)).min(u64::from(self.n)) as u32
+        };
+        ShardScope { start, end }
+    }
+
+    /// The shard owning (canonical) edge `e` — its min endpoint's shard.
+    #[inline]
+    pub fn owner(&self, e: Edge) -> u32 {
+        self.shard_of(e.canonical().u)
+    }
+
+    /// True when `e`'s endpoints live in different shards.
+    #[inline]
+    pub fn is_cross(&self, e: Edge) -> bool {
+        self.shard_of(e.u) != self.shard_of(e.v)
+    }
+
+    /// Splits a batch by **incidence**: every (canonicalized, non-loop) edge
+    /// goes to each endpoint's shard, so a cross edge appears in both
+    /// sub-batches (the non-owner applies it as a ghost). Restricting each
+    /// sub-batch to the edges that shard *owns* reassembles the original
+    /// batch exactly — the property the proptest suite pins down.
+    pub fn split_batch(&self, batch: &EdgeBatch) -> Vec<EdgeBatch> {
+        let mut subs = vec![EdgeBatch::new(); self.shards()];
+        let mut route = |edges: &[Edge], pick: fn(&mut EdgeBatch) -> &mut Vec<Edge>| {
+            for &raw in edges {
+                if raw.is_self_loop() {
+                    continue;
+                }
+                let e = raw.canonical();
+                let a = self.shard_of(e.u);
+                let b = self.shard_of(e.v);
+                pick(&mut subs[a as usize]).push(e);
+                if b != a {
+                    pick(&mut subs[b as usize]).push(e);
+                }
+            }
+        };
+        route(&batch.insertions, |b| &mut b.insertions);
+        route(&batch.deletions, |b| &mut b.deletions);
+        subs
+    }
+}
+
+/// One exchange round's outgoing messages from a shard: the boundary-visible
+/// effects of its most recent repair pass, all about items it *owns*.
+#[derive(Debug, Default)]
+struct Outbox {
+    /// Net MIS flips of owned vertices: `(vertex, in_mis now)`.
+    mis: Vec<(u32, bool)>,
+    /// Net matched flips of owned **cross** edges: `(edge, matched now)`.
+    /// Broadcast; shards whose arena lacks the edge skip it.
+    matched: Vec<(Edge, bool)>,
+    /// Owned partner entries written this pass: `(vertex, partner now)`.
+    partner: Vec<(u32, u32)>,
+}
+
+impl Outbox {
+    fn is_empty(&self) -> bool {
+        self.mis.is_empty() && self.matched.is_empty() && self.partner.is_empty()
+    }
+}
+
+/// One shard: an arena over the full vertex-id space holding only the edges
+/// incident to its owned range, plus its scoped repair state and the
+/// per-commit delta bookkeeping.
+#[derive(Debug)]
+struct Shard {
+    scope: ShardScope,
+    graph: DynGraph,
+    /// Full-length MIS flags. Invariant: identical across shards at every
+    /// exchange-round boundary (owned flips are broadcast to everyone).
+    in_mis: Vec<bool>,
+    matching: MatchingState,
+    scratch: RepairScratch,
+    metrics: Option<EngineMetrics>,
+    /// Owned vertices touched this commit → membership at commit entry.
+    entry_mis: HashMap<u32, bool>,
+    /// Owned edges touched this commit → (edge, matched at commit entry).
+    entry_match: HashMap<u64, (Edge, bool)>,
+    outbox: Outbox,
+    /// Effective structural changes of this commit, restricted to owned
+    /// edges (canonical, sorted — the order `delete_edges`/`insert_edges`
+    /// report).
+    owned_del: Vec<Edge>,
+    owned_ins: Vec<Edge>,
+    /// Repair counters accumulated across this commit's passes.
+    mis_stats: RepairStats,
+    matching_stats: RepairStats,
+}
+
+fn accumulate(total: &mut RepairStats, part: RepairStats) {
+    total.rounds += part.rounds;
+    total.decided += part.decided;
+    total.flips += part.flips;
+    total.max_frontier = total.max_frontier.max(part.max_frontier);
+}
+
+impl Shard {
+    /// Folds a pass's net MIS flips into the commit bookkeeping and the
+    /// outbox (every owned flip is broadcast — the all-shards-identical
+    /// flags invariant is what keeps ghost decisions and serving-page
+    /// refreshes exact).
+    fn fold_mis(&mut self, changed: Vec<u32>, stats: RepairStats) {
+        accumulate(&mut self.mis_stats, stats);
+        for v in changed {
+            let now = self.in_mis[v as usize];
+            self.entry_mis.entry(v).or_insert(!now);
+            self.outbox.mis.push((v, now));
+        }
+    }
+
+    /// Folds a pass's net matching deltas (owned edges only) into the commit
+    /// bookkeeping; cross-edge flips go out on the wire.
+    fn fold_matching(&mut self, map: &ShardMap, deltas: Vec<MatchDelta>, stats: RepairStats) {
+        accumulate(&mut self.matching_stats, stats);
+        for d in deltas {
+            debug_assert!(self.scope.owns(d.edge.u), "delta for a foreign edge");
+            self.entry_match
+                .entry(d.edge.sort_key())
+                .or_insert((d.edge, !d.matched));
+            if map.is_cross(d.edge) {
+                self.outbox.matched.push((d.edge, d.matched));
+            }
+        }
+    }
+
+    /// Moves this pass's owned partner writes into the outbox with their
+    /// settled values.
+    fn drain_partner_outbox(&mut self) {
+        for x in self.matching.drain_dirty_partners() {
+            if self.scope.owns(x) {
+                self.outbox.partner.push((x, self.matching.partner_of(x)));
+            }
+        }
+    }
+
+    /// Phase 1 of a commit: apply the structural sub-batch and run both
+    /// scoped repairs from the batch's dirty frontier.
+    fn begin_commit(&mut self, sub: &EdgeBatch, prio: &[u64], seed: u64, map: &ShardMap) {
+        let deleted = self.graph.delete_edges(&sub.deletions);
+        let inserted = self.graph.insert_edges(&sub.insertions);
+        self.owned_del = deleted
+            .iter()
+            .map(|u| u.edge)
+            .filter(|e| self.scope.owns(e.u))
+            .collect();
+        self.owned_ins = inserted
+            .iter()
+            .map(|u| u.edge)
+            .filter(|e| self.scope.owns(e.u))
+            .collect();
+
+        let (mdeltas, mstats) =
+            self.matching
+                .repair_batch(&self.graph, seed, &deleted, &inserted, &mut self.scratch);
+        self.fold_matching(map, mdeltas, mstats);
+        self.drain_partner_outbox();
+
+        // Same MIS dirty-frontier gate as the single engine, restricted to
+        // owned endpoints (each shard seeds its own side of a cross edge).
+        let vp = |x: u32| (prio[x as usize], x);
+        let mut seeds: Vec<u32> = Vec::new();
+        for upd in &deleted {
+            for (x, y) in [(upd.edge.u, upd.edge.v), (upd.edge.v, upd.edge.u)] {
+                if self.scope.owns(x)
+                    && !self.in_mis[x as usize]
+                    && self.in_mis[y as usize]
+                    && vp(y) < vp(x)
+                {
+                    seeds.push(x);
+                }
+            }
+        }
+        for upd in &inserted {
+            for (x, y) in [(upd.edge.u, upd.edge.v), (upd.edge.v, upd.edge.u)] {
+                if self.scope.owns(x)
+                    && self.in_mis[x as usize]
+                    && self.in_mis[y as usize]
+                    && vp(y) < vp(x)
+                {
+                    seeds.push(x);
+                }
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        let (changed, stats) = repair_mis_scoped(
+            &self.graph,
+            prio,
+            &mut self.in_mis,
+            &seeds,
+            &mut self.scratch,
+            Some(self.scope),
+        );
+        self.fold_mis(changed, stats);
+    }
+
+    /// One exchange round: apply every other shard's outbox (ascending
+    /// sender order — deterministic), wake the owned items whose greedy
+    /// decision moved, and repair to the local fixed point again.
+    fn exchange_round(
+        &mut self,
+        idx: usize,
+        outboxes: &[Outbox],
+        prio: &[u64],
+        seed: u64,
+        map: &ShardMap,
+    ) {
+        let mut mis_changed_in: Vec<u32> = Vec::new();
+        let mut touched_vertices: Vec<u32> = Vec::new();
+        for (i, ob) in outboxes.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            for &(v, val) in &ob.mis {
+                debug_assert!(!self.scope.owns(v), "received an MIS flip we own");
+                if self.in_mis[v as usize] != val {
+                    self.in_mis[v as usize] = val;
+                    mis_changed_in.push(v);
+                }
+            }
+            for &(e, m) in &ob.matched {
+                if let Some(s) = self.graph.edge_slot(e.u, e.v) {
+                    if self.matching.apply_matched_flip(&self.graph, s, e, m) {
+                        touched_vertices.push(e.u);
+                        touched_vertices.push(e.v);
+                    }
+                }
+            }
+            for &(x, p) in &ob.partner {
+                debug_assert!(!self.scope.owns(x), "received a partner entry we own");
+                if self.matching.apply_partner_update(x, p) {
+                    touched_vertices.push(x);
+                }
+            }
+        }
+
+        touched_vertices.sort_unstable();
+        touched_vertices.dedup();
+        let mut mseeds: Vec<u32> = Vec::new();
+        for &x in &touched_vertices {
+            for (&w, &s) in self
+                .graph
+                .neighbors(x)
+                .iter()
+                .zip(self.graph.neighbor_slots(x))
+            {
+                let e = Edge::new(x, w).canonical();
+                if self.scope.owns(e.u)
+                    && self.matching.decide_slot(&self.graph, seed, s)
+                        != self.matching.matched_flag(s)
+                {
+                    mseeds.push(s);
+                }
+            }
+        }
+        mseeds.sort_unstable();
+        mseeds.dedup();
+        if !mseeds.is_empty() {
+            let (deltas, stats) =
+                self.matching
+                    .repair_seeded(&self.graph, seed, &mseeds, &mut self.scratch);
+            self.fold_matching(map, deltas, stats);
+        }
+        self.drain_partner_outbox();
+
+        let mut vseeds: Vec<u32> = Vec::new();
+        for &v in &mis_changed_in {
+            for &w in self.graph.neighbors(v) {
+                if self.scope.owns(w)
+                    && mis_decide(&self.graph, prio, &self.in_mis, w) != self.in_mis[w as usize]
+                {
+                    vseeds.push(w);
+                }
+            }
+        }
+        vseeds.sort_unstable();
+        vseeds.dedup();
+        if !vseeds.is_empty() {
+            let (changed, stats) = repair_mis_scoped(
+                &self.graph,
+                prio,
+                &mut self.in_mis,
+                &vseeds,
+                &mut self.scratch,
+                Some(self.scope),
+            );
+            self.fold_mis(changed, stats);
+        }
+    }
+}
+
+/// Mirror of the single arena's slot allocator over *public* ids: edges map
+/// to the same dense slot ids a [`crate::engine::Engine`] would assign
+/// (LIFO free-list reuse, canonical batch order), independent of `S`. Fed by
+/// the merge step with the globally merged effective lists.
+#[derive(Debug, Clone, Default)]
+struct SlotDirectory {
+    ids: HashMap<u64, u32>,
+    free: Vec<u32>,
+    next: u32,
+}
+
+impl SlotDirectory {
+    /// The bootstrap assignment: edge `i` of the canonical initial edge list
+    /// gets slot `i` — exactly [`DynGraph::from_graph`]'s.
+    fn bootstrap(edges: &[Edge]) -> Self {
+        let ids = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.sort_key(), i as u32))
+            .collect();
+        Self {
+            ids,
+            free: Vec::new(),
+            next: edges.len() as u32,
+        }
+    }
+
+    fn id(&self, key: u64) -> Option<u32> {
+        self.ids.get(&key).copied()
+    }
+
+    fn alloc(&mut self, e: Edge) -> u32 {
+        let s = self.free.pop().unwrap_or_else(|| {
+            let s = self.next;
+            self.next += 1;
+            s
+        });
+        self.ids.insert(e.sort_key(), s);
+        s
+    }
+
+    fn free(&mut self, e: Edge) -> u32 {
+        let s = self
+            .ids
+            .remove(&e.sort_key())
+            .expect("SlotDirectory: freed edge must be live");
+        self.free.push(s);
+        s
+    }
+}
+
+/// The vertex-partitioned engine: drop-in for [`crate::engine::Engine`] on
+/// the server's commit path, byte-identical outputs for every shard count.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    seed: u64,
+    vertex_prio: Arc<Vec<u64>>,
+    directory: SlotDirectory,
+    num_edges: usize,
+    mis_size: usize,
+    matching_size: usize,
+    serving: ServerSnapshot,
+    last_publication_pages: usize,
+    last_timings: BatchTimings,
+    stats: EngineStats,
+    /// Exchange rounds the most recent commit took to quiesce (0 when no
+    /// boundary traffic was needed).
+    last_cross_shard_rounds: u64,
+    /// Deepest per-shard staged sub-batch (insertions + deletions) of the
+    /// most recent commit.
+    last_max_shard_staged: u64,
+}
+
+impl ShardedEngine {
+    /// A sharded engine over an edgeless graph on `n` vertices.
+    pub fn new(n: usize, seed: u64, shards: usize) -> Self {
+        Self::from_graph(&Graph::from_edges(n, &[]), seed, shards)
+    }
+
+    /// A sharded engine initialized from an existing graph. The global fixed
+    /// points are built once (same from-scratch path as the single engine)
+    /// and then distributed: every shard gets the full MIS flags and partner
+    /// array (the cross-shard invariant) plus its incident edge set.
+    pub fn from_graph(graph: &Graph, seed: u64, shards: usize) -> Self {
+        let n = graph.num_vertices();
+        let map = ShardMap::new(n, shards);
+        let vertex_prio = Arc::new(vertex_priorities(n, seed));
+        let full = DynGraph::from_graph(graph);
+        let mut scratch = RepairScratch::with_capacity(n.max(full.num_slots()));
+        let (matching, matching_stats) = matching_from_scratch(&full, seed, &mut scratch);
+        let (in_mis, mis_stats) = mis_from_scratch(&full, &vertex_prio, &mut scratch);
+        let partner = matching.partners().to_vec();
+        let edges = full.to_edge_list();
+        let directory = SlotDirectory::bootstrap(edges.edges());
+        let num_edges = full.num_edges();
+        let mis_size = in_mis.iter().filter(|&&m| m).count();
+        let matching_size = matching.size();
+        let serving = ServerSnapshot::build(num_edges, &in_mis, &partner, matching_size);
+        drop(full);
+
+        let shards_vec: Vec<Shard> = (0..map.shards() as u32)
+            .map(|i| {
+                let scope = map.scope(i);
+                let incident: Vec<Edge> = edges
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|e| scope.owns(e.u) || scope.owns(e.v))
+                    .collect();
+                let mut g = DynGraph::new(n);
+                g.insert_edges(&incident);
+                g.set_shard_tag(i);
+                let matching = MatchingState::bootstrap(&g, seed, partner.clone(), scope);
+                let cap = n.max(g.num_slots());
+                Shard {
+                    scope,
+                    graph: g,
+                    in_mis: in_mis.clone(),
+                    matching,
+                    scratch: RepairScratch::with_capacity(cap),
+                    metrics: None,
+                    entry_mis: HashMap::new(),
+                    entry_match: HashMap::new(),
+                    outbox: Outbox::default(),
+                    owned_del: Vec::new(),
+                    owned_ins: Vec::new(),
+                    mis_stats: RepairStats::default(),
+                    matching_stats: RepairStats::default(),
+                }
+            })
+            .collect();
+
+        Self {
+            map,
+            shards: shards_vec,
+            seed,
+            vertex_prio,
+            directory,
+            num_edges,
+            mis_size,
+            matching_size,
+            serving,
+            last_publication_pages: 0,
+            last_timings: BatchTimings::default(),
+            stats: EngineStats {
+                mis_redecisions: mis_stats.decided,
+                matching_redecisions: matching_stats.decided,
+                ..EngineStats::default()
+            },
+            last_cross_shard_rounds: 0,
+            last_max_shard_staged: 0,
+        }
+    }
+
+    /// Attaches one [`EngineMetrics`] per shard (panics unless
+    /// `per_shard.len()` equals the shard count): each shard's arena feeds
+    /// its own journal-tagged rebuild events, and the caller aggregates the
+    /// registries with `Registry::merge`.
+    pub fn attach_metrics(&mut self, per_shard: Vec<EngineMetrics>) {
+        assert_eq!(
+            per_shard.len(),
+            self.shards.len(),
+            "one EngineMetrics per shard"
+        );
+        for (shard, m) in self.shards.iter_mut().zip(per_shard) {
+            shard.graph.attach_journal(m.journal().clone());
+            shard.metrics = Some(m);
+        }
+    }
+
+    /// Applies one batch: parallel shard-local phase, exchange rounds to the
+    /// global fixed point, then the sequential merge that emits the same
+    /// deltas, counters, and serving pages a single engine would.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, or if the exchange fails to
+    /// quiesce within [`MAX_EXCHANGE_ROUNDS`] (a protocol bug, not an input
+    /// condition).
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchReport {
+        let t0 = std::time::Instant::now();
+        let subs = self.map.split_batch(batch);
+        self.last_max_shard_staged = subs
+            .iter()
+            .map(|b| (b.insertions.len() + b.deletions.len()) as u64)
+            .max()
+            .unwrap_or(0);
+
+        let map = &self.map;
+        let seed = self.seed;
+        let prio: &[u64] = &self.vertex_prio;
+        let tasks: Vec<(&mut Shard, EdgeBatch)> = self.shards.iter_mut().zip(subs).collect();
+        par_map_blocks(tasks, &|(shard, sub): (&mut Shard, EdgeBatch)| {
+            shard.begin_commit(&sub, prio, seed, map)
+        });
+        let t_local = std::time::Instant::now();
+
+        let mut rounds = 0u64;
+        loop {
+            let outboxes: Vec<Outbox> = self
+                .shards
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.outbox))
+                .collect();
+            if outboxes.iter().all(Outbox::is_empty) {
+                break;
+            }
+            rounds += 1;
+            assert!(
+                rounds <= MAX_EXCHANGE_ROUNDS,
+                "cross-shard exchange failed to quiesce"
+            );
+            let outboxes = &outboxes;
+            let tasks: Vec<(usize, &mut Shard)> = self.shards.iter_mut().enumerate().collect();
+            par_map_blocks(tasks, &|(idx, shard): (usize, &mut Shard)| {
+                shard.exchange_round(idx, outboxes, prio, seed, map)
+            });
+        }
+        self.last_cross_shard_rounds = rounds;
+        let t_exchange = std::time::Instant::now();
+
+        self.merge_commit(batch, t0, t_local, t_exchange)
+    }
+
+    /// The sequential merge step: public slot assignment, global net deltas,
+    /// counters, serving pages, stats, metrics.
+    fn merge_commit(
+        &mut self,
+        _batch: &EdgeBatch,
+        t0: std::time::Instant,
+        t_local: std::time::Instant,
+        t_exchange: std::time::Instant,
+    ) -> BatchReport {
+        // Globally merged effective lists, in the single arena's processing
+        // order (canonical sort — `canonical_batch` sorts by edge key).
+        let mut global_del: Vec<Edge> = Vec::new();
+        let mut global_ins: Vec<Edge> = Vec::new();
+        for shard in &mut self.shards {
+            global_del.append(&mut shard.owned_del);
+            global_ins.append(&mut shard.owned_ins);
+        }
+        global_del.sort_unstable_by_key(|e| e.sort_key());
+        global_ins.sort_unstable_by_key(|e| e.sort_key());
+        let mut freed: HashMap<u64, u32> = HashMap::new();
+        for &e in &global_del {
+            freed.insert(e.sort_key(), self.directory.free(e));
+        }
+        for &e in &global_ins {
+            self.directory.alloc(e);
+        }
+
+        // Global MIS delta: owned entry maps are disjoint across shards.
+        let mut mis_changed: Vec<u32> = Vec::new();
+        for shard in &mut self.shards {
+            for (v, entry) in shard.entry_mis.drain() {
+                if shard.in_mis[v as usize] != entry {
+                    mis_changed.push(v);
+                }
+            }
+        }
+        mis_changed.sort_unstable();
+
+        // Global matching delta under public slot ids.
+        let mut matching_changed: Vec<MatchDelta> = Vec::new();
+        let directory = &self.directory;
+        for shard in &mut self.shards {
+            for (key, (edge, entry)) in shard.entry_match.drain() {
+                let now = shard
+                    .graph
+                    .edge_slot(edge.u, edge.v)
+                    .is_some_and(|s| shard.matching.matched_flag(s));
+                if now != entry {
+                    let slot = directory.id(key).unwrap_or_else(|| freed[&key]);
+                    matching_changed.push(MatchDelta {
+                        slot,
+                        edge,
+                        matched: now,
+                    });
+                }
+            }
+        }
+        matching_changed.sort_unstable_by_key(|d| (d.slot, d.edge.sort_key()));
+
+        // Counters and cumulative stats — same bookkeeping as the single
+        // engine's apply_batch tail.
+        self.num_edges = self.num_edges + global_ins.len() - global_del.len();
+        for &v in &mis_changed {
+            self.mis_size = if self.shards[0].in_mis[v as usize] {
+                self.mis_size + 1
+            } else {
+                self.mis_size - 1
+            };
+        }
+        for d in &matching_changed {
+            self.matching_size = if d.matched {
+                self.matching_size + 1
+            } else {
+                self.matching_size - 1
+            };
+        }
+
+        let mut mis_repair = RepairStats::default();
+        let mut matching_repair = RepairStats::default();
+        for shard in &mut self.shards {
+            let ms = std::mem::take(&mut shard.mis_stats);
+            let mts = std::mem::take(&mut shard.matching_stats);
+            if let Some(m) = &mut shard.metrics {
+                m.record_batch(
+                    &shard.graph,
+                    shard.matching.pending_index_capacity(),
+                    &ms,
+                    &mts,
+                );
+            }
+            accumulate(&mut mis_repair, ms);
+            accumulate(&mut matching_repair, mts);
+        }
+
+        self.stats.batches += 1;
+        self.stats.edges_inserted += global_ins.len() as u64;
+        self.stats.edges_deleted += global_del.len() as u64;
+        self.stats.mis_vertices_changed += mis_changed.len() as u64;
+        self.stats.matching_edges_changed += matching_changed.len() as u64;
+        self.stats.mis_redecisions += mis_repair.decided;
+        self.stats.matching_redecisions += matching_repair.decided;
+
+        // Copy-on-write publication off shard 0's arrays — identical on
+        // every shard by the exchange invariant, so the refreshed pages are
+        // byte-identical to the single engine's.
+        let mut mis_pages: Vec<usize> = mis_changed
+            .iter()
+            .map(|&v| v as usize / PAGE_VERTICES)
+            .collect();
+        mis_pages.dedup();
+        let mut partner_pages: Vec<usize> = matching_changed
+            .iter()
+            .flat_map(|d| [d.edge.u, d.edge.v])
+            .map(|v| v as usize / PAGE_VERTICES)
+            .collect();
+        partner_pages.sort_unstable();
+        partner_pages.dedup();
+        self.serving
+            .refresh_mis_pages(&mis_pages, &self.shards[0].in_mis);
+        self.serving
+            .refresh_partner_pages(&partner_pages, self.shards[0].matching.partners());
+        self.serving
+            .set_counts(self.num_edges, self.mis_size, self.matching_size);
+        self.last_publication_pages = mis_pages.len() + partner_pages.len();
+        self.last_timings = BatchTimings {
+            graph_us: t_local.duration_since(t0).as_micros() as u64,
+            matching_repair_us: t_exchange.duration_since(t_local).as_micros() as u64,
+            mis_repair_us: t_exchange.elapsed().as_micros() as u64,
+            page_repack_us: 0,
+        };
+
+        BatchReport {
+            edges_inserted: global_ins.len(),
+            edges_deleted: global_del.len(),
+            mis_changed,
+            matching_changed,
+            mis_repair,
+            matching_repair,
+        }
+    }
+
+    /// The serving-shaped export — same COW pages contract as
+    /// [`crate::engine::Engine::server_snapshot`].
+    pub fn server_snapshot(&self) -> ServerSnapshot {
+        self.serving.clone()
+    }
+
+    /// O(n) rebuild oracle for the COW export (see
+    /// [`crate::engine::Engine::rebuild_server_snapshot`]).
+    pub fn rebuild_server_snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot::build(
+            self.num_edges,
+            &self.shards[0].in_mis,
+            self.shards[0].matching.partners(),
+            self.matching_size,
+        )
+    }
+
+    /// A consistent global snapshot (merges the owned edge sets).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            graph: self.global_graph(),
+            mis: self.mis(),
+            matching: self.matching(),
+        }
+    }
+
+    fn global_graph(&self) -> Graph {
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.num_edges);
+        for shard in &self.shards {
+            edges.extend(
+                shard
+                    .graph
+                    .to_edge_list()
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|e| shard.scope.owns(e.u)),
+            );
+        }
+        Graph::from_edges(self.num_vertices(), &edges)
+    }
+
+    /// The current global edge set as a canonical [`EdgeList`].
+    pub fn edge_list(&self) -> EdgeList {
+        self.global_graph().to_edge_list()
+    }
+
+    /// The current greedy MIS, sorted ascending.
+    pub fn mis(&self) -> Vec<u32> {
+        self.shards[0]
+            .in_mis
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &m)| m.then_some(v as u32))
+            .collect()
+    }
+
+    /// The current greedy maximal matching, canonical edges sorted.
+    pub fn matching(&self) -> Vec<Edge> {
+        self.shards[0]
+            .matching
+            .partners()
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| p != u32::MAX && (v as u32) < p)
+            .map(|(v, &p)| Edge::new(v as u32, p))
+            .collect()
+    }
+
+    /// True when vertex `v` is currently in the MIS.
+    pub fn in_mis(&self, v: u32) -> bool {
+        self.shards[0].in_mis[v as usize]
+    }
+
+    /// Current MIS size (O(1), maintained by the merge step).
+    pub fn mis_size(&self) -> usize {
+        self.mis_size
+    }
+
+    /// Number of matched edges (O(1)).
+    pub fn matching_size(&self) -> usize {
+        self.matching_size
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of vertices (fixed at construction).
+    pub fn num_vertices(&self) -> usize {
+        self.map.n as usize
+    }
+
+    /// Number of edges currently present (global).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The priority seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The vertex partition.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Exchange rounds the most recent commit needed.
+    pub fn last_cross_shard_rounds(&self) -> u64 {
+        self.last_cross_shard_rounds
+    }
+
+    /// Deepest per-shard staged sub-batch of the most recent commit.
+    pub fn last_max_shard_staged(&self) -> u64 {
+        self.last_max_shard_staged
+    }
+
+    /// Serving pages the most recent commit repacked.
+    pub fn last_publication_pages(&self) -> usize {
+        self.last_publication_pages
+    }
+
+    /// Wall-clock phases of the most recent commit: `graph_us` is the
+    /// parallel shard-local phase (structural + first repairs),
+    /// `matching_repair_us` the exchange rounds, `mis_repair_us` the merge.
+    pub fn last_batch_timings(&self) -> BatchTimings {
+        self.last_timings
+    }
+
+    /// Scratch flags the shards' most recent repairs reset, summed.
+    pub fn mis_scratch_reset_items(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.scratch.last_reset_items())
+            .sum()
+    }
+}
+
+impl crate::engine::CommitEngine for ShardedEngine {
+    fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchReport {
+        ShardedEngine::apply_batch(self, batch)
+    }
+
+    fn server_snapshot(&self) -> ServerSnapshot {
+        ShardedEngine::server_snapshot(self)
+    }
+
+    fn stats(&self) -> &EngineStats {
+        ShardedEngine::stats(self)
+    }
+
+    fn num_vertices(&self) -> usize {
+        ShardedEngine::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        ShardedEngine::num_edges(self)
+    }
+
+    fn seed(&self) -> u64 {
+        ShardedEngine::seed(self)
+    }
+
+    fn edge_list(&self) -> EdgeList {
+        ShardedEngine::edge_list(self)
+    }
+
+    fn last_batch_timings(&self) -> BatchTimings {
+        ShardedEngine::last_batch_timings(self)
+    }
+
+    fn last_publication_pages(&self) -> usize {
+        ShardedEngine::last_publication_pages(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedEngine::shard_count(self)
+    }
+
+    fn last_max_shard_staged(&self) -> u64 {
+        ShardedEngine::last_max_shard_staged(self)
+    }
+
+    fn last_cross_shard_rounds(&self) -> u64 {
+        ShardedEngine::last_cross_shard_rounds(self)
+    }
+
+    fn attach_shard_metrics(&mut self, per_shard: Vec<EngineMetrics>) {
+        self.attach_metrics(per_shard);
+    }
+
+    fn absorb_recovered(self, recovered: crate::engine::Engine) -> Self {
+        let shards = self.shard_count();
+        let rebuilt =
+            ShardedEngine::from_graph(&recovered.snapshot().graph, recovered.seed(), shards);
+        // The recovered engine's snapshot was byte-verified against the log;
+        // the fixed point's uniqueness makes the re-partitioned build land on
+        // the same state, and this check makes a violation loud at startup
+        // instead of a silent divergence rounds later.
+        assert_eq!(
+            rebuilt.server_snapshot(),
+            recovered.server_snapshot(),
+            "re-partitioned recovery diverged from the recovered state"
+        );
+        rebuilt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use greedy_graph::gen::random::random_graph;
+    use greedy_prims::random::hash64;
+
+    /// Drives an [`Engine`] and a [`ShardedEngine`] through the same stream
+    /// and asserts every externally visible artifact matches byte-for-byte.
+    fn assert_equivalent_stream(n: usize, m: usize, shards: usize, seed: u64, batches: usize) {
+        let g = random_graph(n, m, seed);
+        let mut single = Engine::from_graph(&g, seed + 1);
+        let mut sharded = ShardedEngine::from_graph(&g, seed + 1, shards);
+        assert_eq!(single.server_snapshot(), sharded.server_snapshot());
+        for b in 0..batches {
+            let batch = stream_batch(n, seed, b);
+            let rs = single.apply_batch(&batch);
+            let rd = sharded.apply_batch(&batch);
+            assert_eq!(rs.edges_inserted, rd.edges_inserted, "S={shards} batch {b}");
+            assert_eq!(rs.edges_deleted, rd.edges_deleted, "S={shards} batch {b}");
+            assert_eq!(rs.mis_changed, rd.mis_changed, "S={shards} batch {b}");
+            assert_eq!(
+                rs.matching_changed, rd.matching_changed,
+                "S={shards} batch {b}"
+            );
+            assert_eq!(
+                single.server_snapshot(),
+                sharded.server_snapshot(),
+                "S={shards} batch {b}: published snapshots diverged"
+            );
+            assert_eq!(
+                sharded.server_snapshot(),
+                sharded.rebuild_server_snapshot(),
+                "S={shards} batch {b}: COW pages diverged from the rebuild oracle"
+            );
+        }
+        assert_eq!(single.mis(), sharded.mis());
+        assert_eq!(single.matching(), sharded.matching());
+        assert_eq!(single.num_edges(), sharded.num_edges());
+        // Work counters are S-dependent (ghost repairs); the effective-change
+        // counters are not.
+        assert_eq!(
+            single.stats().edges_inserted,
+            sharded.stats().edges_inserted
+        );
+        assert_eq!(single.stats().edges_deleted, sharded.stats().edges_deleted);
+        assert_eq!(
+            single.stats().mis_vertices_changed,
+            sharded.stats().mis_vertices_changed
+        );
+        assert_eq!(
+            single.stats().matching_edges_changed,
+            sharded.stats().matching_edges_changed
+        );
+    }
+
+    /// A deterministic mixed batch: inserts and deletes drawn from the same
+    /// hash stream the determinism suite uses.
+    fn stream_batch(n: usize, seed: u64, b: usize) -> EdgeBatch {
+        let mut batch = EdgeBatch::new();
+        let k = 24;
+        for i in 0..k {
+            let h = hash64(seed + 17, (b * k + i) as u64);
+            let u = (h % n as u64) as u32;
+            let v = ((h >> 20) % n as u64) as u32;
+            if i % 3 == 0 {
+                batch.delete(u, v);
+            } else {
+                batch.insert(u, v);
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_across_shard_counts() {
+        for shards in [1, 2, 3, 7] {
+            assert_equivalent_stream(200, 600, shards, 11, 12);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_on_sparse_and_dense_graphs() {
+        assert_equivalent_stream(50, 40, 3, 5, 10);
+        assert_equivalent_stream(64, 900, 4, 7, 8);
+    }
+
+    #[test]
+    fn empty_and_noop_batches_are_stable() {
+        let mut e = ShardedEngine::new(30, 9, 3);
+        let report = e.apply_batch(&EdgeBatch::new());
+        assert_eq!(report.edges_inserted + report.edges_deleted, 0);
+        assert!(report.mis_changed.is_empty());
+        assert!(report.matching_changed.is_empty());
+        assert_eq!(e.last_cross_shard_rounds(), 0);
+        assert_eq!(e.mis().len(), 30, "edgeless graph: everyone is in");
+    }
+
+    #[test]
+    fn cross_shard_path_converges() {
+        // A path that zig-zags across every shard boundary: maximal
+        // cross-shard traffic relative to its size.
+        let n = 21;
+        for shards in [2, 3, 7] {
+            let mut single = Engine::new(n, 3);
+            let mut sharded = ShardedEngine::new(n, 3, shards);
+            let mut batch = EdgeBatch::new();
+            for v in 0..(n as u32 - 1) {
+                batch.insert(v, v + 1);
+            }
+            let rs = single.apply_batch(&batch);
+            let rd = sharded.apply_batch(&batch);
+            assert_eq!(rs.mis_changed, rd.mis_changed, "S={shards}");
+            assert_eq!(rs.matching_changed, rd.matching_changed, "S={shards}");
+            assert_eq!(single.server_snapshot(), sharded.server_snapshot());
+            // Now delete the middle edge — repairs must cross shards again.
+            let mid = (n / 2) as u32;
+            let del = EdgeBatch::from_pairs([], [(mid, mid + 1)]);
+            assert_eq!(
+                single.apply_batch(&del).matching_changed,
+                sharded.apply_batch(&del).matching_changed,
+                "S={shards}"
+            );
+            assert_eq!(single.server_snapshot(), sharded.server_snapshot());
+        }
+    }
+
+    #[test]
+    fn shard_map_partitions_every_vertex_exactly_once() {
+        for (n, s) in [(1usize, 1usize), (10, 3), (21, 7), (5, 8), (4096, 2)] {
+            let map = ShardMap::new(n, s);
+            for v in 0..n as u32 {
+                let owner = map.shard_of(v);
+                assert!(map.scope(owner).owns(v), "n={n} s={s} v={v}");
+                let owning: Vec<u32> = (0..s as u32).filter(|&i| map.scope(i).owns(v)).collect();
+                assert_eq!(owning, vec![owner], "n={n} s={s} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_batches_reassemble_to_the_original() {
+        let map = ShardMap::new(100, 3);
+        let batch = EdgeBatch::from_pairs(
+            [(1, 99), (40, 41), (5, 5), (0, 50), (98, 99)],
+            [(2, 70), (33, 34)],
+        );
+        let subs = map.split_batch(&batch);
+        let reassemble = |pick: fn(&EdgeBatch) -> &Vec<Edge>| -> Vec<Edge> {
+            let mut out: Vec<Edge> = subs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, sub)| {
+                    let map = &map;
+                    pick(sub)
+                        .iter()
+                        .copied()
+                        .filter(move |e| map.owner(*e) == i as u32)
+                })
+                .collect();
+            out.sort_unstable_by_key(|e| e.sort_key());
+            out
+        };
+        let canonical = |edges: &[Edge]| -> Vec<Edge> {
+            let mut out: Vec<Edge> = edges
+                .iter()
+                .filter(|e| !e.is_self_loop())
+                .map(|e| e.canonical())
+                .collect();
+            out.sort_unstable_by_key(|e| e.sort_key());
+            out
+        };
+        assert_eq!(reassemble(|b| &b.insertions), canonical(&batch.insertions));
+        assert_eq!(reassemble(|b| &b.deletions), canonical(&batch.deletions));
+        // Every cross edge is staged at both endpoint shards.
+        for (i, sub) in subs.iter().enumerate() {
+            for e in sub.insertions.iter().chain(&sub.deletions) {
+                let scope = map.scope(i as u32);
+                assert!(scope.owns(e.u) || scope.owns(e.v), "non-incident edge");
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Owner-filtering the shard sub-batches reassembles the exact
+            /// original batch (canonicalized, loop-free, order restored by
+            /// edge key), for arbitrary batches and shard counts.
+            #[test]
+            fn split_batches_reassemble(
+                n in 1usize..300,
+                shards in 1usize..9,
+                pairs in proptest::collection::vec(((0u32..300, 0u32..300), any::<bool>()), 0..80),
+            ) {
+                let map = ShardMap::new(n, shards);
+                let mut batch = EdgeBatch::new();
+                for &((u, v), del) in &pairs {
+                    let (u, v) = (u % n as u32, v % n as u32);
+                    if del {
+                        batch.delete(u, v);
+                    } else {
+                        batch.insert(u, v);
+                    }
+                }
+                let subs = map.split_batch(&batch);
+                prop_assert_eq!(subs.len(), shards);
+                let canonical = |edges: &[Edge]| -> Vec<Edge> {
+                    let mut out: Vec<Edge> = edges
+                        .iter()
+                        .filter(|e| !e.is_self_loop())
+                        .map(|e| e.canonical())
+                        .collect();
+                    out.sort_unstable_by_key(|e| e.sort_key());
+                    out
+                };
+                for pick in [
+                    (|b: &EdgeBatch| b.insertions.clone()) as fn(&EdgeBatch) -> Vec<Edge>,
+                    |b: &EdgeBatch| b.deletions.clone(),
+                ] {
+                    let map = &map;
+                    let mut owned: Vec<Edge> = subs
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(i, sub)| {
+                            pick(sub)
+                                .into_iter()
+                                .filter(move |e| map.owner(*e) == i as u32)
+                                .collect::<Vec<_>>()
+                        })
+                        .collect();
+                    owned.sort_unstable_by_key(|e| e.sort_key());
+                    prop_assert_eq!(owned, canonical(&pick(&batch)));
+                    // Incidence: every routed edge touches its shard.
+                    for (i, sub) in subs.iter().enumerate() {
+                        let scope = map.scope(i as u32);
+                        for e in pick(sub) {
+                            prop_assert!(scope.owns(e.u) || scope.owns(e.v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -240,6 +240,13 @@ pub struct StatsReply {
     /// 0 when serving memory-only or under the per-round fsync policy;
     /// bounded by the group size under group fsync.
     pub durable_lag: u64,
+    /// Vertex-partition shards the engine runs (1 for the single-arena
+    /// engine).
+    pub shards: u64,
+    /// High-water mark of updates staged for a single shard in one round
+    /// (0 unsharded): a skew gauge — `shards` × this ≫ `updates` means the
+    /// partition is unbalanced for the workload.
+    pub max_shard_staged: u64,
 }
 
 /// Wire version of the [`StatsReply`] body: a tagged field block (version
@@ -253,7 +260,7 @@ pub const STATS_VERSION: u8 = 2;
 
 /// Field ids of the [`StatsReply`] wire block, in `(id, value)` order. Ids
 /// are append-only: never reuse or renumber one.
-const STATS_FIELDS: usize = 14;
+const STATS_FIELDS: usize = 16;
 
 impl StatsReply {
     /// Field block `(id, value)` pairs in encode order.
@@ -273,6 +280,8 @@ impl StatsReply {
             (12, self.commit_p50_us),
             (13, self.commit_p99_us),
             (14, self.durable_lag),
+            (15, self.shards),
+            (16, self.max_shard_staged),
         ]
     }
 
@@ -302,6 +311,8 @@ impl StatsReply {
             12 => self.commit_p50_us = value,
             13 => self.commit_p99_us = value,
             14 => self.durable_lag = value,
+            15 => self.shards = value,
+            16 => self.max_shard_staged = value,
             // Unknown id: a field from a newer server. Skipped, not fatal —
             // that is the point of the versioned block.
             _ => {}
@@ -384,7 +395,7 @@ pub const TRACE_VERSION: u8 = 1;
 
 /// `u64` fields per trace record, in [`RoundTrace`] declaration order.
 /// Append-only: new fields go at the end so old decoders can skip them.
-pub const TRACE_FIELDS: u8 = 15;
+pub const TRACE_FIELDS: u8 = 16;
 
 /// One record's fields in wire order ([`RoundTrace`] declaration order).
 fn trace_fields(t: &RoundTrace) -> [u64; TRACE_FIELDS as usize] {
@@ -404,6 +415,7 @@ fn trace_fields(t: &RoundTrace) -> [u64; TRACE_FIELDS as usize] {
         t.decided,
         t.flips,
         t.pages,
+        t.cross_shard_rounds,
     ]
 }
 
@@ -468,6 +480,7 @@ pub(crate) fn read_trace_body(c: &mut Cursor<'_>) -> io::Result<Vec<RoundTrace>>
             decided: vals[12],
             flips: vals[13],
             pages: vals[14],
+            cross_shard_rounds: vals[15],
         });
     }
     Ok(out)
@@ -1011,6 +1024,8 @@ mod tests {
             commit_p50_us: 340,
             commit_p99_us: 1200,
             durable_lag: 1,
+            shards: 4,
+            max_shard_staged: 9,
         }));
         roundtrip_response(Response::Stats(StatsReply::default()));
         roundtrip_response(Response::ShuttingDown);
@@ -1183,6 +1198,7 @@ mod tests {
             decided: 8,
             flips: 2,
             pages: 3,
+            cross_shard_rounds: round % 3,
         };
         roundtrip_response(Response::Trace(vec![]));
         roundtrip_response(Response::Trace(vec![trace(1), trace(2), trace(3)]));
